@@ -1,0 +1,56 @@
+"""Figure 5 — the cost of data striping: execution time and active power.
+
+Paper: striping across banks costs ~10% execution time and ~4.7x active
+power; across channels ~25% and ~3.8x (slower execution dilutes power).
+"""
+
+import pytest
+
+from conftest import PERF_CONFIGS, emit, normalized
+from repro.analysis.report import ExperimentReport, geomean
+from repro.perf import SystemSimulator
+from repro.workloads import rate_mode_traces
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_striping_perf_power(benchmark, geometry, perf_sweep):
+    traces = rate_mode_traces(geometry=geometry, name="lbm",
+                              requests_per_core=500, seed=5)
+    benchmark.pedantic(
+        lambda: SystemSimulator(
+            geometry, PERF_CONFIGS["across_channels"]
+        ).run(traces),
+        rounds=1, iterations=1,
+    )
+
+    time_ab = geomean(
+        [normalized(perf_sweep, b, "across_banks") for b in perf_sweep]
+    )
+    time_ac = geomean(
+        [normalized(perf_sweep, b, "across_channels") for b in perf_sweep]
+    )
+    power_ab = geomean(
+        [normalized(perf_sweep, b, "across_banks", "power") for b in perf_sweep]
+    )
+    power_ac = geomean(
+        [normalized(perf_sweep, b, "across_channels", "power")
+         for b in perf_sweep]
+    )
+
+    report = ExperimentReport(
+        "Figure 5", "Impact of data striping on performance and power"
+    )
+    report.add("Across Banks exec time", 1.10, time_ab, unit="x")
+    report.add("Across Channels exec time", 1.25, time_ac, unit="x")
+    report.add("Across Banks active power", 4.7, power_ab, unit="x")
+    report.add("Across Channels active power", 3.8, power_ac, unit="x")
+    report.note("paper: striping costs 11-25% performance and 3.8-4.7x power")
+    emit(report, "fig05_striping_perf_power")
+
+    # Time: Same Bank < Across Banks < Across Channels.
+    assert 1.0 < time_ab < time_ac
+    # Power: both striped modes are several-x; Across Channels is lower
+    # than Across Banks because it executes longer (§II-E).
+    assert power_ab > 3.0
+    assert power_ac > 2.0
+    assert power_ac < power_ab

@@ -1,0 +1,68 @@
+"""Figure 9 — TSV-SWAP is effective at mitigating TSV faults.
+
+At the highest assumed TSV rate (1430 FIT = one TSV-caused die failure
+per 7 years), a system with TSV-Swap must match the resilience of a
+system with *no TSV faults at all*, for all three data mappings.
+"""
+
+import pytest
+
+from conftest import emit, run_reliability
+from repro.analysis.report import ExperimentReport, same_order_of_magnitude
+from repro.ecc import SymbolCode
+from repro.faults.rates import TSV_FIT_HIGH, FailureRates
+from repro.stack.striping import StripingPolicy
+
+TRIALS = 10000
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_tsv_swap(benchmark, geometry):
+    high = FailureRates.paper_baseline(tsv_device_fit=TSV_FIT_HIGH)
+    none = FailureRates.paper_baseline(tsv_device_fit=0.0)
+
+    def experiment():
+        results = {}
+        for policy in StripingPolicy:
+            model = SymbolCode(geometry, policy)
+            results[policy] = {
+                "no_swap": run_reliability(
+                    geometry, high, model, TRIALS, seed=101
+                ),
+                "with_swap": run_reliability(
+                    geometry, high, model, TRIALS, seed=102, tsv_swap_standby=4
+                ),
+                "no_tsv": run_reliability(
+                    geometry, none, model, TRIALS, seed=103
+                ),
+            }
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "Figure 9", f"TSV-Swap effectiveness @ {TSV_FIT_HIGH:g} device FIT"
+    )
+    for policy, r in results.items():
+        for key in ("no_swap", "with_swap", "no_tsv"):
+            report.add(
+                f"{policy.label} / {key}",
+                None,
+                r[key].failure_probability,
+                unit="p",
+                note=f"{r[key].failures}/{r[key].trials}",
+            )
+    report.note("paper: With TSV-Swap ~ No TSV Faults for every mapping")
+    emit(report, "fig09_tsv_swap")
+
+    for policy, r in results.items():
+        swap_p = r["with_swap"].failure_probability
+        clean_p = r["no_tsv"].failure_probability
+        raw_p = r["no_swap"].failure_probability
+        # TSV-Swap restores the no-TSV-fault resilience...
+        if clean_p > 0:
+            assert same_order_of_magnitude(swap_p, clean_p, slack=3.0), policy
+        # ...and TSV faults visibly hurt at least the striped mappings
+        # when unmitigated.
+        if policy is not StripingPolicy.SAME_BANK:
+            assert raw_p > 3 * swap_p, policy

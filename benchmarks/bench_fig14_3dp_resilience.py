@@ -1,0 +1,71 @@
+"""Figure 14 — resilience of 1DP/2DP/3DP vs the striped 8-bit symbol code
+(TSV-Swap enabled everywhere, TSV FIT at the high end of the sweep).
+
+Paper's claims: 2DP is ~100x stronger than 1DP, 3DP ~1000x stronger than
+1DP and ~7x stronger than the striped symbol code.  This reproduction
+recovers the ordering 1DP < 2DP < 3DP and 3DP >= symbol-code-level
+resilience; the magnitude of each step is smaller here because, without
+DDS, permanent subarray and column faults accumulate over the 7-year
+lifetime and their collisions dominate every parity scheme equally (see
+EXPERIMENTS.md for the full analysis).
+"""
+
+import pytest
+
+from conftest import emit, run_reliability
+from repro.analysis.report import ExperimentReport
+from repro.core.parity3dp import make_1dp, make_2dp, make_3dp
+from repro.ecc import SymbolCode
+from repro.faults.rates import TSV_FIT_HIGH, FailureRates
+from repro.stack.striping import StripingPolicy
+
+TRIALS = 20000
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_3dp_resilience(benchmark, geometry):
+    rates = FailureRates.paper_baseline(tsv_device_fit=TSV_FIT_HIGH)
+
+    def experiment():
+        symbol = SymbolCode(geometry, StripingPolicy.ACROSS_CHANNELS)
+        return {
+            "symbol": run_reliability(
+                geometry, rates, symbol, TRIALS, 201, tsv_swap_standby=4
+            ),
+            "1dp": run_reliability(
+                geometry, rates, make_1dp(geometry), TRIALS, 202,
+                tsv_swap_standby=4,
+            ),
+            "2dp": run_reliability(
+                geometry, rates, make_2dp(geometry), TRIALS, 203,
+                tsv_swap_standby=4,
+            ),
+            "3dp": run_reliability(
+                geometry, rates, make_3dp(geometry), TRIALS, 204,
+                tsv_swap_standby=4,
+            ),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    p = {k: r.failure_probability for k, r in results.items()}
+    report = ExperimentReport(
+        "Figure 14", "1DP/2DP/3DP vs 8-bit symbol code (Across Channels)"
+    )
+    report.add("8-bit symbol (striped)", None, p["symbol"], unit="p")
+    report.add("1DP", None, p["1dp"], unit="p")
+    report.add("2DP", None, p["2dp"], unit="p")
+    report.add("3DP", None, p["3dp"], unit="p")
+    report.add("2DP vs 1DP improvement", 100.0, p["1dp"] / p["2dp"], unit="x",
+               note="paper ~100x")
+    report.add("3DP vs 1DP improvement", 1000.0, p["1dp"] / p["3dp"], unit="x",
+               note="paper ~1000x")
+    report.add("3DP vs symbol improvement", 7.0, p["symbol"] / p["3dp"],
+               unit="x", note="paper ~7x")
+    report.note("ordering reproduces; step magnitudes are compressed by "
+                "accumulated permanent column/subarray collisions (no DDS)")
+    emit(report, "fig14_3dp_resilience")
+
+    assert p["1dp"] > p["2dp"] > 0
+    assert p["2dp"] >= p["3dp"] > 0
+    assert p["1dp"] > 2 * p["3dp"]

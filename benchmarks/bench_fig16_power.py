@@ -1,0 +1,60 @@
+"""Figure 16 — active power per suite, normalized to the fault-free
+Same-Bank baseline.
+
+Paper: 3DP costs ~4% active power; striping costs 3x-5x (bank/channel
+activations multiply while execution stretches).
+"""
+
+import pytest
+
+from conftest import PERF_CONFIGS, emit, normalized
+from repro.analysis.report import ExperimentReport, geomean
+from repro.perf import SystemSimulator
+from repro.workloads import SUITES, rate_mode_traces, suite_of
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_power(benchmark, geometry, perf_sweep):
+    traces = rate_mode_traces(geometry=geometry, name="milc",
+                              requests_per_core=500, seed=16)
+    benchmark.pedantic(
+        lambda: SystemSimulator(geometry, PERF_CONFIGS["3dp_cached"]).run(traces),
+        rounds=1, iterations=1,
+    )
+
+    report = ExperimentReport(
+        "Figure 16", "Normalized active power (Same Bank = 1.0)"
+    )
+    per_suite = {}
+    for suite in SUITES:
+        benches = [b for b in perf_sweep if suite_of(b) == suite]
+        per_suite[suite] = {
+            cfg: geomean([normalized(perf_sweep, b, cfg, "power")
+                          for b in benches])
+            for cfg in ("3dp_cached", "across_banks", "across_channels")
+        }
+        report.add(
+            f"{suite} 3DP", None, per_suite[suite]["3dp_cached"], unit="x",
+            note=(
+                f"AB={per_suite[suite]['across_banks']:.2f}x "
+                f"AC={per_suite[suite]['across_channels']:.2f}x"
+            ),
+        )
+    overall = {
+        cfg: geomean([normalized(perf_sweep, b, cfg, "power")
+                      for b in perf_sweep])
+        for cfg in ("3dp_cached", "across_banks", "across_channels")
+    }
+    report.add("GMEAN 3DP", 1.04, overall["3dp_cached"], unit="x",
+               note="paper ~4%")
+    report.add("GMEAN Across Banks", 4.7, overall["across_banks"], unit="x")
+    report.add("GMEAN Across Channels", 3.8, overall["across_channels"],
+               unit="x")
+    emit(report, "fig16_power")
+
+    # 3DP's power overhead is marginal...
+    assert 0.95 < overall["3dp_cached"] < 1.15
+    # ...while striping costs multiples.
+    assert overall["across_banks"] > 3.0
+    assert overall["across_channels"] > 2.0
+    assert overall["across_channels"] < overall["across_banks"]

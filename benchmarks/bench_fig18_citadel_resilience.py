@@ -1,0 +1,69 @@
+"""Figure 18 — 3DP + DDS (Citadel) vs the striped 8-bit symbol code.
+
+Paper's headline: Citadel delivers ~700x higher resilience than a strong
+symbol-based code that stripes data across channels, while keeping each
+line in one bank.  DDS removes >99.99% of faults at scrub time, so only
+faults colliding within one 12-hour scrub window (or overflowing the
+spare budget) can still combine into data loss.
+"""
+
+import pytest
+
+from conftest import emit, run_reliability
+from repro.analysis.report import ExperimentReport
+from repro.core.parity3dp import make_3dp
+from repro.ecc import SymbolCode
+from repro.faults.rates import TSV_FIT_HIGH, FailureRates
+from repro.stack.striping import StripingPolicy
+
+SYMBOL_TRIALS = 20000
+CITADEL_TRIALS = 120000
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18_citadel_resilience(benchmark, geometry):
+    rates = FailureRates.paper_baseline(tsv_device_fit=TSV_FIT_HIGH)
+
+    def experiment():
+        symbol = SymbolCode(geometry, StripingPolicy.ACROSS_CHANNELS)
+        return {
+            "symbol": run_reliability(
+                geometry, rates, symbol, SYMBOL_TRIALS, 301, tsv_swap_standby=4
+            ),
+            "citadel": run_reliability(
+                geometry, rates, make_3dp(geometry), CITADEL_TRIALS, 302,
+                tsv_swap_standby=4, use_dds=True,
+            ),
+            "3dp_only": run_reliability(
+                geometry, rates, make_3dp(geometry), SYMBOL_TRIALS, 303,
+                tsv_swap_standby=4,
+            ),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    p_symbol = results["symbol"].failure_probability
+    p_citadel = results["citadel"].failure_probability
+    ci_hi = results["citadel"].confidence_interval()[1]
+    improvement = (p_symbol / p_citadel) if p_citadel > 0 else float("inf")
+    floor_improvement = p_symbol / max(ci_hi, 1e-300)
+
+    report = ExperimentReport(
+        "Figure 18", "Citadel (3DP + DDS + TSV-Swap) vs striped symbol code"
+    )
+    report.add("8-bit symbol (Across Channels)", None, p_symbol, unit="p")
+    report.add("3DP alone", None, results["3dp_only"].failure_probability,
+               unit="p")
+    report.add("Citadel (3DP + DDS)", None, p_citadel, unit="p",
+               note=f"{results['citadel'].failures}/{CITADEL_TRIALS} trials")
+    report.add("Citadel improvement", 700.0, improvement, unit="x",
+               note=f">= {floor_improvement:.0f}x at 95% CI")
+    report.note("paper: ~700x; DDS removes 99.995% of transient and "
+                "99.996% of permanent faults per scrub interval")
+    emit(report, "fig18_citadel_resilience")
+
+    # Citadel beats the striped code by a large factor even at the
+    # conservative end of the confidence interval.
+    assert floor_improvement > 50
+    # And DDS is the component that buys the headline factor over 3DP.
+    assert results["3dp_only"].failure_probability > 10 * max(ci_hi, 1e-300)

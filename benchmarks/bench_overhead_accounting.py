@@ -1,0 +1,40 @@
+"""§VII-E — Citadel's storage overhead accounting.
+
+Paper: 12.5% for the metadata die + 1.6% for the dim-1 parity bank = ~14%
+DRAM overhead (vs 12.5% for an ECC DIMM), plus ~35 KB of controller SRAM
+(34 KB of dim-2/3 parity rows + ~1 KB RRT + a tiny BRT).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import ExperimentReport
+from repro.core.citadel import CitadelConfig
+from repro.core.metadata import CRC_BITS, METADATA_BITS, SPARE_BITS, SWAP_BITS
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_overhead_accounting(benchmark, geometry):
+    config = CitadelConfig(geometry=geometry)
+    overhead = benchmark(config.storage_overhead)
+
+    report = ExperimentReport("§VII-E", "Citadel storage overhead")
+    report.add("metadata die", 0.125, overhead.metadata_die_fraction, unit="%")
+    report.add("dim-1 parity bank", 0.016, overhead.parity_bank_fraction,
+               unit="%")
+    report.add("total DRAM overhead", 0.14, overhead.dram_fraction, unit="%")
+    report.add("dim-2/3 parity SRAM (bytes)", 34 * 1024,
+               overhead.sram_parity_bytes)
+    report.add("RRT SRAM (bytes)", 1024, overhead.sram_rrt_bytes)
+    report.add("total SRAM (bytes)", 35 * 1024, overhead.sram_bytes)
+    report.add("metadata bits per line", 64, METADATA_BITS,
+               note=f"CRC {CRC_BITS} + swap {SWAP_BITS} + spare {SPARE_BITS}")
+    emit(report, "overhead_accounting")
+
+    assert overhead.metadata_die_fraction == pytest.approx(0.125)
+    assert overhead.parity_bank_fraction == pytest.approx(1 / 64)
+    assert overhead.dram_fraction == pytest.approx(0.1406, abs=0.001)
+    assert overhead.sram_parity_bytes == 34 * 1024
+    assert 900 <= overhead.sram_rrt_bytes <= 1100
+    assert overhead.sram_bytes <= 36 * 1024
+    assert METADATA_BITS == 64

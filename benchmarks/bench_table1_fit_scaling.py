@@ -1,0 +1,44 @@
+"""Table I — stacked-memory failure rates for 8 Gb dies.
+
+Reproduces the paper's 1 Gb -> 8 Gb FIT scaling from the Sridharan field
+data and checks every cell of Table I.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import ExperimentReport
+from repro.faults.rates import (
+    SRIDHARAN_1GB_FIT,
+    TABLE_I_8GB_FIT,
+    scale_die_rates,
+)
+from repro.faults.types import FaultKind
+
+PAPER_TABLE_I = {
+    FaultKind.BIT: (113.6, 148.8),
+    FaultKind.WORD: (11.2, 2.4),
+    FaultKind.COLUMN: (2.6, 10.5),
+    FaultKind.ROW: (0.8, 32.8),
+    FaultKind.BANK: (6.4, 80.0),
+}
+
+
+def test_table1_fit_scaling(benchmark):
+    scaled = benchmark(scale_die_rates)
+    report = ExperimentReport(
+        "Table I", "Stacked memory failure rates, FIT per 8 Gb die"
+    )
+    for kind, (paper_t, paper_p) in PAPER_TABLE_I.items():
+        got_t, got_p = scaled[kind]
+        report.add(f"{kind.value} transient", paper_t, got_t, note="FIT")
+        report.add(f"{kind.value} permanent", paper_p, got_p, note="FIT")
+        assert got_t == pytest.approx(paper_t, abs=0.11)
+        assert got_p == pytest.approx(paper_p, abs=0.11)
+    report.note(
+        "scaling: bit/word x8 (capacity), row x4 (16K->64K rows), "
+        "column x1.9 (decoder logic), bank x8 (subarray count)"
+    )
+    emit(report, "table1_fit_scaling")
+    assert scaled == dict(TABLE_I_8GB_FIT)
+    assert set(scaled) == set(SRIDHARAN_1GB_FIT)

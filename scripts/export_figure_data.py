@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Export the reproduced figure series as CSV files under results/csv/.
+
+Reads results/reliability_full.json (produced by
+scripts/full_reliability_study.py) for the reliability figures and runs
+the performance sweep for Figures 5/13/15/16, so the paper's plots can
+be regenerated with any plotting tool.
+
+Usage: python scripts/export_figure_data.py [--skip-perf]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+CSV_DIR = RESULTS / "csv"
+
+
+def write_csv(name: str, header, rows) -> None:
+    CSV_DIR.mkdir(parents=True, exist_ok=True)
+    path = CSV_DIR / name
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    print(f"wrote {path}")
+
+
+def export_reliability() -> None:
+    path = RESULTS / "reliability_full.json"
+    if not path.exists():
+        print(f"{path} missing - run scripts/full_reliability_study.py first",
+              file=sys.stderr)
+        return
+    data = json.loads(path.read_text())
+
+    rows = []
+    for fit, entries in data["fig4"].items():
+        for entry in entries:
+            rows.append([fit, entry["label"], entry["probability"],
+                         entry["ci"][0], entry["ci"][1]])
+    write_csv("fig04_striping_reliability.csv",
+              ["tsv_fit", "mapping", "p_fail", "ci_lo", "ci_hi"], rows)
+
+    rows = []
+    for mapping, variants in data["fig9"].items():
+        for variant, entry in variants.items():
+            rows.append([mapping, variant, entry["probability"]])
+    write_csv("fig09_tsv_swap.csv", ["mapping", "variant", "p_fail"], rows)
+
+    for figure in ("fig14", "fig18", "fig19"):
+        rows = [
+            [key, entry["probability"], entry["trials"], entry["failures"]]
+            for key, entry in data[figure].items()
+        ]
+        write_csv(f"{figure}.csv", ["scheme", "p_fail", "trials", "failures"],
+                  rows)
+
+    rows = [[k, v] for k, v in data["fig17"]["fractions"].items()]
+    write_csv("fig17_bimodal.csv", ["rows_required", "fraction"], rows)
+    rows = [[k, v] for k, v in data["table3"].items()]
+    write_csv("table3_failed_banks.csv", ["num_failed_banks", "fraction"],
+              rows)
+
+
+def export_performance() -> None:
+    from repro.perf import PerfConfig, PowerModel, SystemSimulator
+    from repro.stack.geometry import StackGeometry
+    from repro.stack.striping import StripingPolicy
+    from repro.workloads import PROFILES, rate_mode_traces, suite_of
+
+    geometry = StackGeometry()
+    power_model = PowerModel(geometry)
+    configs = {
+        "same_bank": PerfConfig(striping=StripingPolicy.SAME_BANK),
+        "across_banks": PerfConfig(striping=StripingPolicy.ACROSS_BANKS),
+        "across_channels": PerfConfig(striping=StripingPolicy.ACROSS_CHANNELS),
+        "3dp_cached": PerfConfig(parity_protection=True),
+        "3dp_nocache": PerfConfig(parity_protection=True,
+                                  parity_caching=False),
+    }
+    rows = []
+    for bench in sorted(PROFILES):
+        traces = rate_mode_traces(bench, geometry, requests_per_core=2000,
+                                  seed=1)
+        base_cycles = base_power = None
+        for config_name, config in configs.items():
+            result = SystemSimulator(geometry, config).run(traces)
+            power = power_model.active_power_mw(result.counters)
+            if base_cycles is None:
+                base_cycles, base_power = result.exec_cycles, power
+            rows.append([
+                bench,
+                suite_of(bench),
+                config_name,
+                result.exec_cycles / base_cycles,
+                power / base_power,
+                result.parity_hit_rate,
+                result.row_buffer_hit_rate,
+            ])
+        print(f"  swept {bench}")
+    write_csv(
+        "fig15_16_13_performance.csv",
+        ["benchmark", "suite", "config", "norm_time", "norm_power",
+         "parity_hit_rate", "row_buffer_hit_rate"],
+        rows,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--skip-perf", action="store_true")
+    args = parser.parse_args()
+    export_reliability()
+    if not args.skip_perf:
+        export_performance()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

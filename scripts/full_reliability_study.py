@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Full-scale Monte-Carlo reliability study.
+
+Regenerates the reliability numbers behind Figures 4, 9, 14, 18, 19 and
+Table III at publication-scale trial counts (the pytest benches run
+scaled-down versions of the same experiments).  Results are written to
+results/reliability_full.json and echoed as text.
+
+Usage: python scripts/full_reliability_study.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro import (
+    EngineConfig,
+    FailureRates,
+    LifetimeSimulator,
+    StackGeometry,
+    make_1dp,
+    make_2dp,
+    make_3dp,
+)
+from repro.ecc import BCHCode, RAID5, SECDED, SymbolCode, TwoDimECC
+from repro.faults.rates import TSV_FIT_SWEEP
+from repro.stack.striping import StripingPolicy
+
+GEOM = StackGeometry()
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def run(model, rates, trials, seed, label=None, **cfg):
+    sim = LifetimeSimulator(
+        GEOM, rates, model, EngineConfig(**cfg), rng=random.Random(seed)
+    )
+    t0 = time.time()
+    result = sim.run(trials=trials, label=label)
+    elapsed = time.time() - t0
+    print(f"  {result.summary()}   [{elapsed:.1f}s]", flush=True)
+    return {
+        "label": result.scheme_name,
+        "trials": result.trials,
+        "failures": result.failures,
+        "weight": result.stratum_weight,
+        "probability": result.failure_probability,
+        "ci": result.confidence_interval(),
+        "seconds": elapsed,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true", help="100x fewer trials")
+    args = parser.parse_args()
+    scale = 100 if args.quick else 1
+
+    def n(trials):
+        return max(2000, trials // scale)
+
+    out = {}
+
+    print("== Figure 4: striping vs reliability (8-bit symbol code, TSV sweep) ==")
+    out["fig4"] = {}
+    for fit in TSV_FIT_SWEEP:
+        rates = FailureRates.paper_baseline(tsv_device_fit=fit)
+        out["fig4"][str(fit)] = [
+            run(SymbolCode(GEOM, pol), rates, n(100_000), seed=11,
+                label=f"{pol.label} @ {fit} FIT")
+            for pol in StripingPolicy
+        ]
+
+    print("== Figure 9: TSV-Swap effectiveness @ 1430 FIT ==")
+    out["fig9"] = {}
+    high = FailureRates.paper_baseline(tsv_device_fit=1430.0)
+    none = FailureRates.paper_baseline(tsv_device_fit=0.0)
+    for pol in StripingPolicy:
+        out["fig9"][pol.value] = {
+            "no_swap": run(SymbolCode(GEOM, pol), high, n(100_000), 21,
+                           label=f"{pol.label} no swap"),
+            "with_swap": run(SymbolCode(GEOM, pol), high, n(100_000), 22,
+                             label=f"{pol.label} TSV-Swap",
+                             tsv_swap_standby=4),
+            "no_tsv_faults": run(SymbolCode(GEOM, pol), none, n(100_000), 23,
+                                 label=f"{pol.label} no TSV faults"),
+        }
+
+    print("== Figure 14: 1DP/2DP/3DP vs striped symbol code (TSV-Swap on) ==")
+    rates = FailureRates.paper_baseline(tsv_device_fit=1430.0)
+    out["fig14"] = {
+        "symbol_across_channels": run(
+            SymbolCode(GEOM, StripingPolicy.ACROSS_CHANNELS), rates,
+            n(300_000), 31, tsv_swap_standby=4),
+        "1dp": run(make_1dp(GEOM), rates, n(300_000), 32, tsv_swap_standby=4),
+        "2dp": run(make_2dp(GEOM), rates, n(300_000), 33, tsv_swap_standby=4),
+        "3dp": run(make_3dp(GEOM), rates, n(300_000), 34, tsv_swap_standby=4),
+    }
+
+    print("== Figure 18: Citadel (3DP+DDS) vs striped symbol code ==")
+    out["fig18"] = {
+        "symbol_across_channels": out["fig14"]["symbol_across_channels"],
+        "3dp_dds": run(make_3dp(GEOM), rates, n(3_000_000), 41,
+                       tsv_swap_standby=4, use_dds=True),
+    }
+
+    print("== Figure 19: 6EC7ED vs RAID-5 vs Citadel (no TSV faults) ==")
+    out["fig19"] = {
+        "bch_6ec7ed": run(BCHCode(GEOM), none, n(100_000), 51),
+        "raid5": run(RAID5(GEOM), none, n(300_000), 52),
+        "secded": run(SECDED(GEOM), none, n(100_000), 53),
+        "2d_ecc": run(TwoDimECC(GEOM), none, n(100_000), 54),
+        "citadel": run(make_3dp(GEOM), none, n(3_000_000), 55,
+                       tsv_swap_standby=4, use_dds=True),
+    }
+
+    print("== Figure 17 / Table III: sparing-demand statistics ==")
+    sim = LifetimeSimulator(
+        GEOM,
+        FailureRates.paper_baseline(),
+        make_3dp(GEOM),
+        EngineConfig(use_dds=True, collect_sparing_stats=True),
+        rng=random.Random(61),
+    )
+    stats_result = sim.run(trials=n(400_000), min_faults=1)
+    sparing = stats_result.sparing
+    hist = sparing.rows_histogram()
+    total = sum(hist.values())
+    out["fig17"] = {
+        "histogram": {str(k): v for k, v in hist.items()},
+        "fractions": {str(k): v / total for k, v in hist.items()},
+    }
+    out["table3"] = sparing.failed_bank_distribution()
+    print(f"  rows-per-faulty-bank histogram: {out['fig17']['fractions']}")
+    print(f"  failed-bank distribution (Table III): {out['table3']}")
+
+    RESULTS.mkdir(exist_ok=True)
+    path = RESULTS / "reliability_full.json"
+    path.write_text(json.dumps(out, indent=2))
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

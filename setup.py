@@ -1,0 +1,6 @@
+"""Shim so that legacy editable installs work in offline environments
+that lack the ``wheel`` package (``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

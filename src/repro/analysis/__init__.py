@@ -1,0 +1,15 @@
+"""Result formatting and paper-vs-measured reporting."""
+
+from repro.analysis.report import (
+    ExperimentReport,
+    ExperimentRow,
+    geomean,
+    same_order_of_magnitude,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "ExperimentRow",
+    "geomean",
+    "same_order_of_magnitude",
+]

@@ -1,0 +1,99 @@
+"""Paper-vs-measured reporting helpers shared by the benchmark harness.
+
+Every bench prints a small table with the rows/series of the paper's
+figure next to the values this reproduction measures, so the output can
+be compared at a glance and copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class ExperimentRow:
+    label: str
+    paper: Optional[float]
+    measured: Optional[float]
+    unit: str = ""
+    note: str = ""
+
+    def ratio(self) -> Optional[float]:
+        if not self.paper or self.measured is None or self.paper == 0:
+            return None
+        return self.measured / self.paper
+
+
+@dataclass
+class ExperimentReport:
+    """One figure/table reproduction."""
+
+    experiment: str            # e.g. "Figure 14"
+    title: str
+    rows: List[ExperimentRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(
+        self,
+        label: str,
+        paper: Optional[float],
+        measured: Optional[float],
+        unit: str = "",
+        note: str = "",
+    ) -> None:
+        self.rows.append(ExperimentRow(label, paper, measured, unit, note))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        width = max([len(r.label) for r in self.rows] + [12])
+        lines = [
+            f"== {self.experiment}: {self.title} ==",
+            f"{'series'.ljust(width)}  {'paper':>12}  {'measured':>12}  note",
+        ]
+        for row in self.rows:
+            paper = _fmt(row.paper, row.unit)
+            measured = _fmt(row.measured, row.unit)
+            lines.append(
+                f"{row.label.ljust(width)}  {paper:>12}  {measured:>12}  {row.note}"
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print("\n" + self.render())
+
+
+def _fmt(value: Optional[float], unit: str) -> str:
+    if value is None:
+        return "-"
+    if unit == "x":
+        return f"{value:.2f}x"
+    if unit == "%":
+        return f"{value * 100:.2f}%"
+    if unit == "p":
+        return f"{value:.2e}"
+    if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+        return f"{value:.3e}"
+    return f"{value:.3f}"
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, used for the normalized execution-time summaries."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def same_order_of_magnitude(a: float, b: float, slack: float = 10.0) -> bool:
+    """Loose agreement check for Monte-Carlo probabilities."""
+    if a <= 0 or b <= 0:
+        return False
+    return max(a, b) / min(a, b) <= slack

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``overhead``
+    Print Citadel's storage-overhead accounting (§VII-E).
+``reliability``
+    Run a Monte-Carlo lifetime study for one scheme.
+``perf``
+    Simulate one benchmark under the five memory organizations.
+``workloads``
+    List the synthetic benchmark profiles.
+``schemes``
+    List the available correction schemes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.citadel import CitadelConfig
+from repro.core.parity3dp import make_1dp, make_2dp, make_3dp
+from repro.ecc import BCHCode, RAID5, SECDED, SymbolCode, TwoDimECC
+from repro.faults.rates import FailureRates
+from repro.perf import PerfConfig, PowerModel, SystemSimulator
+from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
+from repro.stack.geometry import StackGeometry
+from repro.stack.striping import StripingPolicy
+from repro.workloads import PROFILES, rate_mode_traces
+
+#: name -> factory(geometry) for every correctability model.
+SCHEMES: Dict[str, Callable[[StackGeometry], object]] = {
+    "1dp": make_1dp,
+    "2dp": make_2dp,
+    "3dp": make_3dp,
+    "citadel": make_3dp,  # + TSV-Swap + DDS, wired below
+    "symbol-same-bank": lambda g: SymbolCode(g, StripingPolicy.SAME_BANK),
+    "symbol-across-banks": lambda g: SymbolCode(g, StripingPolicy.ACROSS_BANKS),
+    "symbol-across-channels": lambda g: SymbolCode(
+        g, StripingPolicy.ACROSS_CHANNELS
+    ),
+    "bch": lambda g: BCHCode(g),
+    "raid5": lambda g: RAID5(g),
+    "secded": lambda g: SECDED(g),
+    "2d-ecc": lambda g: TwoDimECC(g),
+}
+
+PERF_CONFIGS: Dict[str, PerfConfig] = {
+    "same-bank": PerfConfig(striping=StripingPolicy.SAME_BANK),
+    "across-banks": PerfConfig(striping=StripingPolicy.ACROSS_BANKS),
+    "across-channels": PerfConfig(striping=StripingPolicy.ACROSS_CHANNELS),
+    "3dp": PerfConfig(parity_protection=True, parity_caching=True),
+    "3dp-nocache": PerfConfig(parity_protection=True, parity_caching=False),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Citadel (MICRO 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("overhead", help="storage-overhead accounting (§VII-E)")
+    sub.add_parser("workloads", help="list synthetic benchmark profiles")
+    sub.add_parser("schemes", help="list available correction schemes")
+
+    rel = sub.add_parser("reliability", help="Monte-Carlo lifetime study")
+    rel.add_argument("--scheme", choices=sorted(SCHEMES), default="citadel")
+    rel.add_argument("--trials", type=int, default=20000)
+    rel.add_argument("--tsv-fit", type=float, default=0.0,
+                     help="TSV device FIT (paper sweeps 14-1430)")
+    rel.add_argument("--tsv-swap", type=int, default=None, metavar="N",
+                     help="enable TSV-Swap with N stand-by TSVs per channel")
+    rel.add_argument("--dds", action="store_true", help="enable DDS sparing")
+    rel.add_argument("--scrub-hours", type=float, default=12.0)
+    rel.add_argument("--seed", type=int, default=0)
+    rel.add_argument("--modes", action="store_true",
+                     help="report failure-mode attribution")
+
+    perf = sub.add_parser("perf", help="performance/power simulation")
+    perf.add_argument("--benchmark", choices=sorted(PROFILES), default="mcf")
+    perf.add_argument("--requests", type=int, default=3000,
+                      help="requests per core")
+    perf.add_argument("--cores", type=int, default=8)
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument(
+        "--configs", nargs="+", choices=sorted(PERF_CONFIGS),
+        default=sorted(PERF_CONFIGS),
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+def cmd_overhead(_args: argparse.Namespace) -> int:
+    overhead = CitadelConfig().storage_overhead()
+    print("Citadel storage overhead (§VII-E):")
+    print(f"  metadata die       : {overhead.metadata_die_fraction:.3%}")
+    print(f"  dim-1 parity bank  : {overhead.parity_bank_fraction:.3%}")
+    print(f"  total DRAM         : {overhead.dram_fraction:.3%} "
+          "(ECC DIMM: 12.5%)")
+    print(f"  dim-2/3 parity SRAM: {overhead.sram_parity_bytes} B")
+    print(f"  RRT SRAM           : {overhead.sram_rrt_bytes} B")
+    print(f"  BRT SRAM           : {overhead.sram_brt_bytes} B")
+    print(f"  total SRAM         : {overhead.sram_bytes} B (~35 KB)")
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    print(f"{'benchmark':<12} {'suite':<10} {'MPKI':>6} {'wr%':>5} "
+          f"{'locality':>9} {'MLP':>4}")
+    for name in sorted(PROFILES):
+        p = PROFILES[name]
+        print(f"{p.name:<12} {p.suite:<10} {p.mpki:>6.1f} "
+              f"{p.write_fraction:>5.0%} {p.locality:>9.2f} {p.mlp:>4}")
+    return 0
+
+
+def cmd_schemes(_args: argparse.Namespace) -> int:
+    geometry = StackGeometry()
+    for name in sorted(SCHEMES):
+        model = SCHEMES[name](geometry)
+        extra = " (= 3dp + --tsv-swap 4 --dds)" if name == "citadel" else ""
+        print(f"{name:<24} {model.name}{extra}")
+    return 0
+
+
+def cmd_reliability(args: argparse.Namespace) -> int:
+    geometry = StackGeometry()
+    rates = FailureRates.paper_baseline(tsv_device_fit=args.tsv_fit)
+    tsv_swap = args.tsv_swap
+    use_dds = args.dds
+    if args.scheme == "citadel":
+        tsv_swap = 4 if tsv_swap is None else tsv_swap
+        use_dds = True
+    model = SCHEMES[args.scheme](geometry)
+    sim = LifetimeSimulator(
+        geometry,
+        rates,
+        model,
+        EngineConfig(
+            tsv_swap_standby=tsv_swap,
+            use_dds=use_dds,
+            scrub_interval_hours=args.scrub_hours,
+            collect_failure_modes=args.modes,
+        ),
+        rng=random.Random(args.seed),
+    )
+    result = sim.run(trials=args.trials)
+    print(result.summary())
+    if args.modes and result.failure_modes:
+        print("failure modes:")
+        for mode, count in result.top_failure_modes():
+            print(f"  {mode:<40} {count}")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    geometry = StackGeometry()
+    power_model = PowerModel(geometry)
+    traces = rate_mode_traces(
+        args.benchmark,
+        geometry,
+        cores=args.cores,
+        requests_per_core=args.requests,
+        seed=args.seed,
+    )
+    print(f"{args.benchmark}: {args.cores} cores x {args.requests} requests")
+    print(f"{'config':<16} {'cycles':>12} {'norm time':>10} {'norm power':>11} "
+          f"{'row hit':>8} {'parity hit':>11}")
+    baseline = None
+    # Normalize against Same-Bank when it is selected.
+    canonical = [c for c in PERF_CONFIGS if c in args.configs]
+    canonical.sort(key=lambda c: c != "same-bank")
+    for name in canonical:
+        result = SystemSimulator(geometry, PERF_CONFIGS[name]).run(traces)
+        power = power_model.active_power_mw(result.counters)
+        if baseline is None:
+            baseline = (result.exec_cycles, power)
+        parity = (
+            f"{result.parity_hit_rate:>10.1%}" if result.parity_lookups
+            else f"{'-':>10}"
+        )
+        print(
+            f"{name:<16} {result.exec_cycles:>12} "
+            f"{result.exec_cycles / baseline[0]:>9.3f}x "
+            f"{power / baseline[1]:>10.2f}x "
+            f"{result.row_buffer_hit_rate:>7.1%} {parity}"
+        )
+    return 0
+
+
+COMMANDS = {
+    "overhead": cmd_overhead,
+    "workloads": cmd_workloads,
+    "schemes": cmd_schemes,
+    "reliability": cmd_reliability,
+    "perf": cmd_perf,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

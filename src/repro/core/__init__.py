@@ -1,0 +1,41 @@
+"""Citadel core: TSV-Swap, Tri-Dimensional Parity, Dynamic Dual-granularity
+Sparing, the per-line metadata layout and the composed architecture."""
+
+from repro.core.citadel import CitadelConfig, StorageOverhead
+from repro.core.datapath import CitadelDatapath
+from repro.core.memory_array import FaultyMemoryArray
+from repro.core.striped_datapath import StripedDatapath
+from repro.core.dds import (
+    DDSController,
+    SparingDecision,
+    SparingReport,
+    rows_required,
+)
+from repro.core.metadata import LineMetadata, METADATA_BITS
+from repro.core.parity3dp import ParityND, make_1dp, make_2dp, make_3dp
+from repro.core.tsv_swap import (
+    TSVSwapController,
+    TRREntry,
+    apply_tsv_swap,
+)
+
+__all__ = [
+    "CitadelConfig",
+    "StorageOverhead",
+    "CitadelDatapath",
+    "StripedDatapath",
+    "FaultyMemoryArray",
+    "ParityND",
+    "make_1dp",
+    "make_2dp",
+    "make_3dp",
+    "TSVSwapController",
+    "TRREntry",
+    "apply_tsv_swap",
+    "DDSController",
+    "SparingDecision",
+    "SparingReport",
+    "rows_required",
+    "LineMetadata",
+    "METADATA_BITS",
+]

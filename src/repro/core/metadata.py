@@ -1,0 +1,72 @@
+"""Per-line metadata layout of Citadel (Figure 6).
+
+Like an ECC DIMM, Citadel provisions 64 metadata bits per 512-bit cache
+line, stored in the metadata die and delivered over the dedicated ECC
+lanes.  Citadel repurposes the field as:
+
+* bits [0, 32)  — CRC-32 over address + data (error detection),
+* bits [32, 40) — TSV-Swap "swap data": the replicated payload of the
+  stand-by TSVs (8 bits for 4 stand-by DTSVs at burst length 2),
+* bits [40, 64) — sparing provision (DDS bookkeeping space).
+
+Each 64 B transaction fetches the 40 CRC+swap bits; the 24 sparing bits
+are accessed on sparing events only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+CRC_BITS = 32
+SWAP_BITS = 8
+SPARE_BITS = 24
+METADATA_BITS = CRC_BITS + SWAP_BITS + SPARE_BITS
+
+_CRC_MASK = (1 << CRC_BITS) - 1
+_SWAP_MASK = (1 << SWAP_BITS) - 1
+_SPARE_MASK = (1 << SPARE_BITS) - 1
+
+
+@dataclass(frozen=True)
+class LineMetadata:
+    """Decoded 64-bit metadata word of one cache line."""
+
+    crc32: int
+    swap_data: int
+    spare_info: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.crc32 <= _CRC_MASK:
+            raise ConfigurationError(f"crc32 {self.crc32:#x} exceeds {CRC_BITS} bits")
+        if not 0 <= self.swap_data <= _SWAP_MASK:
+            raise ConfigurationError(
+                f"swap_data {self.swap_data:#x} exceeds {SWAP_BITS} bits"
+            )
+        if not 0 <= self.spare_info <= _SPARE_MASK:
+            raise ConfigurationError(
+                f"spare_info {self.spare_info:#x} exceeds {SPARE_BITS} bits"
+            )
+
+    def pack(self) -> int:
+        """Encode into the 64-bit on-die metadata word."""
+        return (
+            self.crc32
+            | (self.swap_data << CRC_BITS)
+            | (self.spare_info << (CRC_BITS + SWAP_BITS))
+        )
+
+    @classmethod
+    def unpack(cls, word: int) -> "LineMetadata":
+        if not 0 <= word < (1 << METADATA_BITS):
+            raise ConfigurationError(f"metadata word {word:#x} exceeds 64 bits")
+        return cls(
+            crc32=word & _CRC_MASK,
+            swap_data=(word >> CRC_BITS) & _SWAP_MASK,
+            spare_info=(word >> (CRC_BITS + SWAP_BITS)) & _SPARE_MASK,
+        )
+
+    def fetched_bits(self) -> int:
+        """Bits transferred with every data access (CRC + swap data)."""
+        return CRC_BITS + SWAP_BITS

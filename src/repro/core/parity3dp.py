@@ -1,0 +1,191 @@
+"""Tri-Dimensional Parity (3DP) — the correction engine of Citadel (§VI).
+
+3DP maintains XOR parity over three orthogonal partitions of the stack:
+
+* **Dimension 1** (Figure 10): for every row index, parity across all banks
+  of all dies, accumulated into a parity bank carved out of the data banks
+  (1/64 of capacity = 1.6%).  Group of a bit = ``(row, col)``.
+* **Dimension 2** (Figure 11): parity across all rows of all banks within a
+  die, one parity row per die, kept at the memory controller.  Group of a
+  bit = ``(die, col)``.
+* **Dimension 3** (Figure 11): parity across all rows of one bank index
+  across dies, one parity row per bank index, kept at the memory
+  controller.  Group of a bit = ``(bank, col)``.
+
+Correction is modeled as *iterative peeling* (erasure decoding of the
+product code): a fault is recoverable through dimension ``d`` when its
+footprint places at most one faulty bit in each ``d``-group — i.e. it does
+not **self-alias** in ``d`` — and no other live fault intersects any of its
+``d``-groups.  Peeled faults are corrected and removed; if peeling empties
+the live set, the fault combination is correctable.  This reproduces the
+paper's behavior: dimensions 2/3 isolate small faults, after which
+dimension 1 corrects a concurrent column or bank failure; faults that
+alias in every dimension (e.g. unswapped TSV faults, or two overlapping
+bank failures) are data loss.
+
+Self-aliasing rules per dimension:
+
+* dim 1: any multi-bank fault repeats a ``(row, col)`` coordinate across
+  banks (TSV faults);
+* dim 2: any fault covering more than one row, or more than one bank of a
+  die, puts >= 2 bits in a ``(die, col)`` group (column/bank/TSV faults);
+* dim 3: any fault covering more than one row or more than one die does
+  the same for ``(bank, col)`` groups.
+
+``ParityND`` generalizes to the 1DP/2DP ablations of Figure 14.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence
+
+from repro.ecc.base import CorrectionModel
+from repro.errors import ConfigurationError
+from repro.faults.types import Fault
+from repro.stack.geometry import StackGeometry
+
+
+class ParityND(CorrectionModel):
+    """N-dimensional parity with peeling correction (1DP/2DP/3DP)."""
+
+    def __init__(
+        self,
+        geometry: StackGeometry,
+        dimensions: FrozenSet[int] = frozenset({1, 2, 3}),
+    ) -> None:
+        super().__init__(geometry)
+        dims = frozenset(dimensions)
+        if not dims or not dims <= {1, 2, 3}:
+            raise ConfigurationError(
+                f"dimensions must be a non-empty subset of {{1,2,3}}, got {dims}"
+            )
+        self.dimensions = dims
+        self.parity_bank = (geometry.data_dies - 1, geometry.banks_per_die - 1)
+
+    @property
+    def name(self) -> str:
+        return f"{len(self.dimensions)}DP" + (
+            "" if self.dimensions == frozenset(range(1, len(self.dimensions) + 1))
+            else f" dims={sorted(self.dimensions)}"
+        )
+
+    def storage_overhead_fraction(self) -> float:
+        """DRAM overhead of the enabled dimensions.
+
+        Dimension 1 costs one bank out of all data banks; dimensions 2/3
+        live in controller SRAM (17 rows = 34 KB) and cost no DRAM.
+        """
+        return (1.0 / self.geometry.data_banks) if 1 in self.dimensions else 0.0
+
+    def sram_overhead_bytes(self) -> int:
+        """Controller SRAM for dims 2 and 3 (§VI-C)."""
+        total = 0
+        if 2 in self.dimensions:
+            total += self.geometry.total_dies * self.geometry.row_bytes
+        if 3 in self.dimensions:
+            total += self.geometry.banks_per_die * self.geometry.row_bytes
+        return total
+
+    def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
+        # Unswapped TSV faults self-alias in every dimension and are fatal
+        # alone; otherwise at least two faults must collide.
+        return 1 if tsv_possible else 2
+
+    # ------------------------------------------------------------------ #
+    # Peeling
+    # ------------------------------------------------------------------ #
+    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
+        return bool(self.unpeelable(faults))
+
+    def unpeelable(self, faults: Sequence[Fault]) -> List[Fault]:
+        """The subset of faults that peeling cannot correct.
+
+        Faults in the metadata die are ignored: 3DP's dimensions span the
+        data dies (including the parity bank); metadata-die faults degrade
+        CRC/sparing resources and are accounted for by the DDS model.
+        """
+        live = [
+            f
+            for f in faults
+            if any(not self.geometry.is_metadata_die(d) for d in f.footprint.dies)
+        ]
+        changed = True
+        while changed and live:
+            changed = False
+            survivors: List[Fault] = []
+            for fault in live:
+                others = [g for g in live if g.uid != fault.uid]
+                if self._peelable(fault, others):
+                    changed = True
+                else:
+                    survivors.append(fault)
+            live = survivors
+        return live
+
+    def _peelable(self, fault: Fault, others: Sequence[Fault]) -> bool:
+        return any(
+            not self._self_alias(fault, dim)
+            and not any(self._alias(fault, other, dim) for other in others)
+            for dim in sorted(self.dimensions)
+        )
+
+    # ------------------------------------------------------------------ #
+    def _self_alias(self, fault: Fault, dim: int) -> bool:
+        fp = fault.footprint
+        if dim == 1:
+            return fp.spans_multiple_banks()
+        if dim == 2:
+            return fp.spans_multiple_rows() or len(fp.banks) > 1
+        return fp.spans_multiple_rows() or len(fp.dies) > 1
+
+    def _alias(self, a: Fault, b: Fault, dim: int) -> bool:
+        """Do ``a`` and ``b`` place two *distinct* bad bits in one group?
+
+        Parity groups count physical bits, so two faults corrupting the
+        same bit (e.g. a bit fault nested inside a failed subarray) do not
+        alias — there is still only one bad bit in the group.
+        """
+        fa, fb = a.footprint, b.footprint
+        if dim == 1:
+            # Group (row, col); one bit per (die, bank) instance.
+            if not (fa.rows.intersects(fb.rows) and fa.cols.intersects(fb.cols)):
+                return False
+            same_single_instance = (
+                fa.dies == fb.dies
+                and fa.banks == fb.banks
+                and fa.num_bank_instances == 1
+            )
+            return not same_single_instance
+        if dim == 2:
+            # Group (die, col); one bit per (bank, row).
+            if not (fa.dies & fb.dies and fa.cols.intersects(fb.cols)):
+                return False
+            same_single_bit = (
+                fa.banks == fb.banks
+                and len(fa.banks) == 1
+                and fa.rows == fb.rows
+                and fa.rows.is_singleton()
+            )
+            return not same_single_bit
+        # Group (bank, col); one bit per (die, row).
+        if not (fa.banks & fb.banks and fa.cols.intersects(fb.cols)):
+            return False
+        same_single_bit = (
+            fa.dies == fb.dies
+            and len(fa.dies) == 1
+            and fa.rows == fb.rows
+            and fa.rows.is_singleton()
+        )
+        return not same_single_bit
+
+
+def make_1dp(geometry: StackGeometry) -> ParityND:
+    return ParityND(geometry, frozenset({1}))
+
+
+def make_2dp(geometry: StackGeometry) -> ParityND:
+    return ParityND(geometry, frozenset({1, 2}))
+
+
+def make_3dp(geometry: StackGeometry) -> ParityND:
+    return ParityND(geometry, frozenset({1, 2, 3}))

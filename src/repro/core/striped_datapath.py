@@ -1,0 +1,170 @@
+"""Functional datapath for the striped ChipKill-like baseline (§II-D/E).
+
+The comparison point to :class:`~repro.core.datapath.CitadelDatapath`: a
+cache line is striped across the channels (one chunk per data die) with
+a Reed-Solomon check chunk in the metadata die — one 8-bit RS symbol per
+die per byte position, the "symbol size = data per bank" construction of
+§II-E.  Per-chunk CRC-32 locates failed units, turning symbol errors
+into *erasures* that RS(d+1, d) can rebuild one at a time.
+
+This is the design Citadel competes with: every access touches all
+channels (the performance/power cost measured in Figures 5/15/16), in
+exchange for surviving any single-die loss — including whole TSV-killed
+channels — without TSV-Swap, 3DP or DDS.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.memory_array import FaultyMemoryArray
+from repro.ecc.crc import crc32_with_address
+from repro.ecc.reed_solomon import ReedSolomon
+from repro.errors import (
+    ConfigurationError,
+    GeometryError,
+    UncorrectableError,
+)
+from repro.faults.types import Fault
+from repro.stack.geometry import StackGeometry
+
+
+@dataclass
+class StripedStats:
+    chunk_crc_mismatches: int = 0
+    erasure_corrections: int = 0
+    uncorrectable: int = 0
+
+
+class StripedDatapath:
+    """Across-Channels striping + RS single-symbol (erasure) correction."""
+
+    def __init__(
+        self,
+        geometry: Optional[StackGeometry] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.geometry = geometry if geometry is not None else StackGeometry.small()
+        g = self.geometry
+        if g.metadata_dies != 1:
+            raise ConfigurationError("needs exactly one metadata/check die")
+        if g.line_bytes % g.data_dies:
+            raise ConfigurationError(
+                "line_bytes must divide evenly across the data dies"
+            )
+        self.rng = rng if rng is not None else random.Random(0)
+        self.array = FaultyMemoryArray(g)
+        self.chunk_bytes = g.line_bytes // g.data_dies
+        self.rs = ReedSolomon(n=g.data_dies + 1, k=g.data_dies)
+        #: Per-(address, die) chunk checksums — the unit-failure locator.
+        self._chunk_crc: Dict[Tuple[int, int], int] = {}
+        self.stats = StripedStats()
+        self.lines_per_bank = g.rows_per_bank * g.lines_per_row
+        self.num_lines = g.banks_per_die * self.lines_per_bank
+
+    # ------------------------------------------------------------------ #
+    def _locate(self, address: int) -> Tuple[int, int, int]:
+        """address -> (bank, row, slot); the die axis is the stripe."""
+        if not 0 <= address < self.num_lines:
+            raise GeometryError(
+                f"address {address} out of range [0, {self.num_lines})"
+            )
+        bank = address % self.geometry.banks_per_die
+        rest = address // self.geometry.banks_per_die
+        slot = rest % self.geometry.lines_per_row
+        row = rest // self.geometry.lines_per_row
+        return bank, row, slot
+
+    def _chunk_slice(self, slot: int) -> slice:
+        # Each die's row stores this line's chunk inside the line's slot
+        # window, at the same offset in every die.
+        start = slot * self.geometry.line_bytes
+        return slice(start, start + self.chunk_bytes)
+
+    # ------------------------------------------------------------------ #
+    def inject(self, fault: Fault) -> None:
+        self.array.inject(fault)
+
+    def write(self, address: int, data: bytes) -> None:
+        g = self.geometry
+        if len(data) != g.line_bytes:
+            raise ConfigurationError(
+                f"line must be {g.line_bytes} bytes, got {len(data)}"
+            )
+        bank, row, slot = self._locate(address)
+        sl = self._chunk_slice(slot)
+        chunks = [
+            np.frombuffer(
+                data[d * self.chunk_bytes:(d + 1) * self.chunk_bytes],
+                dtype=np.uint8,
+            )
+            for d in range(g.data_dies)
+        ]
+        # RS check chunk: one codeword per byte position across dies.
+        check = np.zeros(self.chunk_bytes, dtype=np.uint8)
+        for j in range(self.chunk_bytes):
+            symbols = [int(chunks[d][j]) for d in range(g.data_dies)]
+            check[j] = self.rs.encode(symbols)[-1]
+        for d in range(g.data_dies):
+            self.array.cells[d, bank, row, sl] = chunks[d]
+            self._chunk_crc[(address, d)] = crc32_with_address(
+                bytes(chunks[d]), address * 16 + d
+            )
+        meta = g.metadata_die
+        self.array.cells[meta, bank, row, sl] = check
+        self._chunk_crc[(address, meta)] = crc32_with_address(
+            bytes(check), address * 16 + meta
+        )
+
+    # ------------------------------------------------------------------ #
+    def read(self, address: int) -> bytes:
+        """Read and, if a unit failed, rebuild it from the RS stripe."""
+        g = self.geometry
+        bank, row, slot = self._locate(address)
+        sl = self._chunk_slice(slot)
+        chunks: List[np.ndarray] = []
+        erasures: List[int] = []
+        for d in range(g.total_dies):
+            chunk = self.array.read_row(d, bank, row)[sl]
+            chunks.append(chunk)
+            stored = self._chunk_crc.get((address, d))
+            if stored is None:
+                continue
+            if crc32_with_address(bytes(chunk), address * 16 + d) != stored:
+                erasures.append(d)
+        if not erasures:
+            return self._assemble(chunks)
+        self.stats.chunk_crc_mismatches += len(erasures)
+        if len(erasures) > self.rs.nsym:
+            self.stats.uncorrectable += 1
+            raise UncorrectableError(
+                f"line {address}: {len(erasures)} failed stripe units, "
+                f"only {self.rs.nsym} correctable"
+            )
+        corrected = [chunk.copy() for chunk in chunks]
+        for j in range(self.chunk_bytes):
+            symbols = [int(chunks[d][j]) for d in range(g.total_dies)]
+            data_syms = self.rs.decode(symbols, erasures=erasures)
+            full = self.rs.encode(data_syms)
+            for d in erasures:
+                corrected[d][j] = full[d]
+        # Verify the rebuilt chunks against their checksums.
+        for d in erasures:
+            stored = self._chunk_crc.get((address, d))
+            if stored is not None and crc32_with_address(
+                bytes(corrected[d]), address * 16 + d
+            ) != stored:
+                self.stats.uncorrectable += 1
+                raise UncorrectableError(
+                    f"line {address}: rebuilt unit {d} fails its checksum"
+                )
+        self.stats.erasure_corrections += 1
+        return self._assemble(corrected)
+
+    def _assemble(self, chunks: List[np.ndarray]) -> bytes:
+        g = self.geometry
+        return b"".join(bytes(chunks[d]) for d in range(g.data_dies))

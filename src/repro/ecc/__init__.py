@@ -1,0 +1,26 @@
+"""Error detection and correction substrate: CRC-32 and every baseline
+correction model the paper compares against."""
+
+from repro.ecc.base import CorrectionModel
+from repro.ecc.bch import BCHCode
+from repro.ecc.crc import crc32, crc32_bitwise, crc32_with_address, check_line
+from repro.ecc.parity2d import TwoDimECC
+from repro.ecc.raid5 import RAID5
+from repro.ecc.reed_solomon import ReedSolomon, chipkill_code
+from repro.ecc.secded import SECDED
+from repro.ecc.symbol_code import SymbolCode
+
+__all__ = [
+    "CorrectionModel",
+    "SymbolCode",
+    "BCHCode",
+    "RAID5",
+    "SECDED",
+    "TwoDimECC",
+    "ReedSolomon",
+    "chipkill_code",
+    "crc32",
+    "crc32_bitwise",
+    "crc32_with_address",
+    "check_line",
+]

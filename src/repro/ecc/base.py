@@ -1,0 +1,94 @@
+"""Correction-model interface used by the reliability engine.
+
+A :class:`CorrectionModel` answers one question for the Monte-Carlo
+lifetime simulator: *given the set of live (uncorrected) faults, has the
+stack lost data?*  Detection is assumed (CRC-32's escape probability is
+negligible — paper footnote 2 — and is studied separately by the
+functional datapath).
+
+Models also report ``min_faults_to_fail``, the smallest number of
+simultaneous faults that can possibly defeat them, which the engine uses
+for stratified sampling of rare failures.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.faults.footprint import RangeMask
+from repro.faults.types import Fault
+from repro.stack.geometry import StackGeometry
+
+
+class CorrectionModel(abc.ABC):
+    """Decides correctability of a set of concurrent faults."""
+
+    def __init__(self, geometry: StackGeometry) -> None:
+        self.geometry = geometry
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable scheme name used in reports."""
+
+    @abc.abstractmethod
+    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
+        """True iff the fault set causes data loss."""
+
+    def min_faults_to_fail(self) -> int:
+        """Lower bound on simultaneous faults needed for data loss.
+
+        Conservative default: a single fault may be fatal.
+        """
+        return 1
+
+    def storage_overhead_fraction(self) -> float:
+        """Extra storage (check bits, parity, spares) / data storage."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}: {self.name}>"
+
+
+# ---------------------------------------------------------------------- #
+# Shared footprint helpers
+# ---------------------------------------------------------------------- #
+def slot_projection(geometry: StackGeometry, cols: RangeMask) -> Tuple[int, int]:
+    """Project a column-bit mask onto line-slot address bits.
+
+    Returns (base, mask) over the full column width but with the low
+    (within-line) bits forced to don't-care, so two projections intersect
+    iff the faults can touch the same cache-line slot.
+    """
+    line_low_bits = geometry.line_bits - 1
+    return (cols.base & ~line_low_bits, cols.mask | line_low_bits)
+
+
+def share_line_slot(
+    geometry: StackGeometry, a: RangeMask, b: RangeMask
+) -> bool:
+    """True iff column masks ``a`` and ``b`` can fall in the same line slot."""
+    base_a, mask_a = slot_projection(geometry, a)
+    base_b, mask_b = slot_projection(geometry, b)
+    return (base_a ^ base_b) & ~(mask_a | mask_b) == 0
+
+
+def bits_in_one_line(geometry: StackGeometry, cols: RangeMask) -> int:
+    """Maximum faulty bits the column mask places within a single line."""
+    line_low_bits = geometry.line_bits - 1
+    within_line_mask = cols.mask & line_low_bits
+    return 1 << bin(within_line_mask).count("1")
+
+
+def bank_instances(fault: Fault) -> List[Tuple[int, int]]:
+    """All (die, bank) pairs touched by a fault."""
+    return [
+        (die, bank)
+        for die in sorted(fault.footprint.dies)
+        for bank in sorted(fault.footprint.banks)
+    ]
+
+
+def faults_in_die(faults: Iterable[Fault], die: int) -> List[Fault]:
+    return [f for f in faults if die in f.footprint.dies]

@@ -1,0 +1,66 @@
+"""Multi-bit BCH correction model (the 6EC7ED comparator of Figure 19).
+
+A ``t``-error-correcting BCH code over each 512-bit cache line corrects up
+to ``t`` faulty bits per line (6 for 6EC7ED).  Following the FaultSim
+convention, every bit inside a fault footprint is assumed bad, so the code
+fails as soon as any cache line accumulates more than ``t`` faulty bits —
+which is why BCH "cannot correct large-granularity faults" (§VIII-F): a
+row, bank, column-pair or word fault already exceeds the per-line budget.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ecc.base import CorrectionModel, bits_in_one_line, share_line_slot
+from repro.faults.types import Fault
+from repro.stack.geometry import StackGeometry
+
+
+class BCHCode(CorrectionModel):
+    """t-error-correcting code applied per cache line, in-bank layout."""
+
+    def __init__(self, geometry: StackGeometry, t: int = 6) -> None:
+        super().__init__(geometry)
+        if t < 1:
+            raise ValueError(f"t must be >= 1, got {t}")
+        self.t = t
+
+    @property
+    def name(self) -> str:
+        return f"{self.t}EC{self.t + 1}ED BCH"
+
+    def storage_overhead_fraction(self) -> float:
+        # t * ceil(log2(n)) check bits per 512-bit line, stored like ECC
+        # DIMM metadata; the paper's schemes all budget 64b per line.
+        return 1.0 / 8.0
+
+    def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
+        return 1
+
+    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
+        for fault in faults:
+            if bits_in_one_line(self.geometry, fault.footprint.cols) > self.t:
+                return True
+        # Concurrent faults pool their per-line bit counts.  For each fault,
+        # conservatively assume every other line-sharing fault lands in the
+        # same cache line and accumulate.
+        for anchor in faults:
+            fa = anchor.footprint
+            total = bits_in_one_line(self.geometry, fa.cols)
+            for other in faults:
+                if other.uid == anchor.uid:
+                    continue
+                fb = other.footprint
+                if fa.covers(fb) or fb.covers(fa):
+                    continue  # nested faults add no new bad bits
+                if not (fa.dies & fb.dies and fa.banks & fb.banks):
+                    continue
+                if not fa.rows.intersects(fb.rows):
+                    continue
+                if not share_line_slot(self.geometry, fa.cols, fb.cols):
+                    continue
+                total += bits_in_one_line(self.geometry, fb.cols)
+            if total > self.t:
+                return True
+        return False

@@ -1,0 +1,74 @@
+"""CRC-32 — the error-detection layer of Citadel (§VI, Figure 6).
+
+Citadel attaches a 32-bit cyclic redundancy check to every 512-bit cache
+line; a checksum mismatch triggers 3DP correction.  This module implements
+the standard IEEE 802.3 CRC-32 (polynomial 0x04C11DB7, reflected form
+0xEDB88320) from scratch, both bit-at-a-time (the reference) and
+table-driven (used on the datapath), plus the paper's address-mixing
+variant: TSV-Swap computes the CRC over *address and data* (§V-C2) so that
+an address-TSV fault — which returns a perfectly self-consistent but
+wrong row — is still detected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+#: Reflected IEEE 802.3 polynomial.
+CRC32_POLY_REFLECTED = 0xEDB88320
+_MASK32 = 0xFFFFFFFF
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ CRC32_POLY_REFLECTED
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32_bitwise(data: Union[bytes, bytearray], seed: int = 0) -> int:
+    """Bit-at-a-time reference implementation."""
+    crc = (~seed) & _MASK32
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ CRC32_POLY_REFLECTED
+            else:
+                crc >>= 1
+    return (~crc) & _MASK32
+
+
+def crc32(data: Union[bytes, bytearray], seed: int = 0) -> int:
+    """Table-driven CRC-32 (identical result to :func:`crc32_bitwise`)."""
+    crc = (~seed) & _MASK32
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return (~crc) & _MASK32
+
+
+def crc32_with_address(data: Union[bytes, bytearray], address: int) -> int:
+    """CRC over address *and* data, as TSV-Swap's detection requires.
+
+    Mixing the line's physical address into the checksum makes a wrong-row
+    read (the signature of an address-TSV fault) produce a CRC mismatch
+    even though the returned data is internally consistent.
+    """
+    if address < 0:
+        raise ValueError("address must be non-negative")
+    prefix = address.to_bytes(8, "little")
+    return crc32(prefix + bytes(data))
+
+
+def check_line(data: Union[bytes, bytearray], address: int, stored_crc: int) -> bool:
+    """True iff the stored checksum matches the (address, data) pair."""
+    return crc32_with_address(data, address) == (stored_crc & _MASK32)

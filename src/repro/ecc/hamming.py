@@ -1,0 +1,101 @@
+"""Hamming (72, 64) SECDED codec — the conventional ECC-DIMM code.
+
+Single-error-correct, double-error-detect over a 64-bit word using 8
+check bits: a standard extended Hamming construction (7 Hamming parity
+bits on positions whose index has the corresponding bit set, plus one
+overall parity bit).  This is the functional counterpart of the
+:class:`~repro.ecc.secded.SECDED` correctability model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError, UncorrectableError
+
+DATA_BITS = 64
+CHECK_BITS = 8  # 7 Hamming + 1 overall parity
+CODE_BITS = DATA_BITS + CHECK_BITS
+
+# Codeword layout: positions 1..71 hold Hamming-coded bits (power-of-two
+# positions are parity), position 0 holds the overall parity bit.
+_PARITY_POSITIONS = [1 << i for i in range(7)]  # 1,2,4,...,64
+_DATA_POSITIONS = [
+    p for p in range(1, 72) if p not in _PARITY_POSITIONS
+]
+assert len(_DATA_POSITIONS) == DATA_BITS
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    data: int
+    corrected_bit: Optional[int]  # codeword position fixed, if any
+
+    @property
+    def had_error(self) -> bool:
+        return self.corrected_bit is not None
+
+
+def encode(data: int) -> int:
+    """64-bit word -> 72-bit codeword."""
+    if not 0 <= data < (1 << DATA_BITS):
+        raise ConfigurationError("data must be a 64-bit value")
+    word = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if data >> i & 1:
+            word |= 1 << pos
+    for parity_pos in _PARITY_POSITIONS:
+        parity = 0
+        for pos in range(1, 72):
+            if pos & parity_pos and word >> pos & 1:
+                parity ^= 1
+        if parity:
+            word |= 1 << parity_pos
+    overall = bin(word).count("1") & 1
+    if overall:
+        word |= 1
+    return word
+
+
+def decode(codeword: int) -> DecodeResult:
+    """72-bit codeword -> data, correcting one bit, detecting two.
+
+    Raises :class:`UncorrectableError` on a detected double error.
+    """
+    if not 0 <= codeword < (1 << CODE_BITS):
+        raise ConfigurationError("codeword must be a 72-bit value")
+    syndrome = 0
+    for parity_pos in _PARITY_POSITIONS:
+        parity = 0
+        for pos in range(1, 72):
+            if pos & parity_pos and codeword >> pos & 1:
+                parity ^= 1
+        if parity:
+            syndrome |= parity_pos
+    overall = bin(codeword).count("1") & 1
+
+    corrected: Optional[int] = None
+    word = codeword
+    if syndrome and overall:
+        # Single-bit error at `syndrome` (or in a parity bit): flip it.
+        if syndrome >= CODE_BITS:
+            raise UncorrectableError("syndrome outside the codeword")
+        word ^= 1 << syndrome
+        corrected = syndrome
+    elif syndrome and not overall:
+        raise UncorrectableError("double-bit error detected (SECDED)")
+    elif not syndrome and overall:
+        # The overall parity bit itself flipped.
+        word ^= 1
+        corrected = 0
+
+    data = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if word >> pos & 1:
+            data |= 1 << i
+    return DecodeResult(data=data, corrected_bit=corrected)
+
+
+def storage_overhead_fraction() -> float:
+    return CHECK_BITS / DATA_BITS

@@ -1,0 +1,51 @@
+"""RAID-5-style rotated parity across banks (the Figure 19 comparator).
+
+One parity strip per stripe, rotated over the 64 banks of the stack; the
+stripe unit is a DRAM row and the stripe group is the set of equal-indexed
+rows across all banks of all dies.  RAID-5 reconstructs any single faulty
+strip per stripe; data is lost when two strips of one stripe are faulty
+(classic RAID semantics operate at strip granularity, so unlike bit-level
+parity the column positions of the two faults do not matter), or when a
+single fault spans two strips of one stripe (multi-bank TSV faults).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.ecc.base import CorrectionModel
+from repro.faults.types import Fault
+from repro.stack.geometry import StackGeometry
+
+
+class RAID5(CorrectionModel):
+    """Row-granularity rotated parity across all banks."""
+
+    def __init__(self, geometry: StackGeometry) -> None:
+        super().__init__(geometry)
+
+    @property
+    def name(self) -> str:
+        return "RAID-5 (row strips across banks)"
+
+    def storage_overhead_fraction(self) -> float:
+        return 1.0 / self.geometry.data_banks
+
+    def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
+        return 1 if tsv_possible else 2
+
+    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
+        for fault in faults:
+            # A fault covering the same row index in >= 2 banks occupies
+            # two strips of one stripe on its own (TSV faults do this).
+            if fault.footprint.spans_multiple_banks():
+                return True
+        for a, b in itertools.combinations(faults, 2):
+            fa, fb = a.footprint, b.footprint
+            same_bank = fa.dies == fb.dies and fa.banks == fb.banks
+            if same_bank:
+                continue  # same strip column: still one bad strip per stripe
+            if fa.rows.intersects(fb.rows):
+                return True
+        return False

@@ -1,0 +1,64 @@
+"""SECDED — the conventional ECC-DIMM baseline (§I).
+
+A (72, 64) Hamming-class code corrects one bit and detects two per aligned
+64-bit word.  It is the paper's stand-in for "conventional error
+correction ... targeted towards correcting random bit errors and
+ineffective at tolerating large-granularity faults": any fault placing two
+or more bad bits inside one 64-bit word defeats it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.ecc.base import CorrectionModel
+from repro.faults.footprint import RangeMask
+from repro.faults.types import Fault
+from repro.stack.geometry import StackGeometry
+
+_WORD_BITS = 64
+
+
+class SECDED(CorrectionModel):
+    """Single-error-correct, double-error-detect per 64-bit word."""
+
+    def __init__(self, geometry: StackGeometry) -> None:
+        super().__init__(geometry)
+
+    @property
+    def name(self) -> str:
+        return "SECDED (ECC-DIMM like)"
+
+    def storage_overhead_fraction(self) -> float:
+        return 8.0 / 64.0
+
+    def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
+        return 1
+
+    def _bits_per_word(self, cols: RangeMask) -> int:
+        within = cols.mask & (_WORD_BITS - 1)
+        return 1 << bin(within).count("1")
+
+    def _share_word(self, a: RangeMask, b: RangeMask) -> bool:
+        """Can the two column masks touch the same 64-bit word?"""
+        word_low = _WORD_BITS - 1
+        base_a, mask_a = a.base & ~word_low, a.mask | word_low
+        base_b, mask_b = b.base & ~word_low, b.mask | word_low
+        return (base_a ^ base_b) & ~(mask_a | mask_b) == 0
+
+    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
+        for fault in faults:
+            if self._bits_per_word(fault.footprint.cols) > 1:
+                return True
+        for a, b in itertools.combinations(faults, 2):
+            fa, fb = a.footprint, b.footprint
+            if fa.covers(fb) or fb.covers(fa):
+                continue  # nested faults add no new bad bits
+            if not (fa.dies & fb.dies and fa.banks & fb.banks):
+                continue
+            if not fa.rows.intersects(fb.rows):
+                continue
+            if self._share_word(fa.cols, fb.cols):
+                return True
+        return False

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GeometryError(ReproError):
+    """A stack/bank/row/column coordinate is outside the configured geometry."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or unsupported parameters."""
+
+
+class CapacityError(ReproError):
+    """A bounded hardware resource (spare rows, spare banks, stand-by TSVs)
+    was asked to hold more than it can."""
+
+
+class UncorrectableError(ReproError):
+    """The functional datapath detected an error it could not correct."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an inconsistent internal state."""

@@ -1,0 +1,48 @@
+"""Fault substrate: fault taxonomy, footprints, FIT rates, injection."""
+
+from repro.faults.footprint import Footprint, RangeMask
+from repro.faults.injector import FaultInjector
+from repro.faults.rates import (
+    SRIDHARAN_1GB_FIT,
+    TABLE_I_8GB_FIT,
+    TSV_FIT_HIGH,
+    TSV_FIT_SWEEP,
+    FailureRates,
+    scale_die_rates,
+)
+from repro.faults.types import (
+    Fault,
+    FaultKind,
+    Permanence,
+    make_addr_tsv_fault,
+    make_bank_fault,
+    make_bit_fault,
+    make_column_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+    make_subarray_fault,
+    make_word_fault,
+)
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "Permanence",
+    "Footprint",
+    "RangeMask",
+    "FaultInjector",
+    "FailureRates",
+    "scale_die_rates",
+    "SRIDHARAN_1GB_FIT",
+    "TABLE_I_8GB_FIT",
+    "TSV_FIT_SWEEP",
+    "TSV_FIT_HIGH",
+    "make_bit_fault",
+    "make_word_fault",
+    "make_column_fault",
+    "make_row_fault",
+    "make_bank_fault",
+    "make_subarray_fault",
+    "make_data_tsv_fault",
+    "make_addr_tsv_fault",
+]

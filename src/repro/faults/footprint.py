@@ -1,0 +1,271 @@
+"""Address/mask footprint algebra (FaultSim-style).
+
+FaultSim [10] represents the set of memory locations touched by a fault as
+an *address + wildcard-mask* pair: an address ``a`` belongs to the set iff
+``a & ~mask == base`` — i.e. ``mask`` marks the "don't-care" address bits.
+This representation covers every fault shape in the paper exactly:
+
+* a single row:                ``base=row, mask=0``
+* a whole bank's rows:         ``base=0, mask=all-ones``
+* the half-memory footprint of a faulty address TSV (§V-B):
+                               ``base=bit_k (or 0), mask=~bit_k``
+* the two bit positions of a faulty data TSV (bit ``k`` and ``k+256``):
+                               ``base=k, mask=1<<8`` (for a 512-bit line)
+
+:class:`RangeMask` implements the set algebra (membership, intersection,
+cardinality); :class:`Footprint` combines a die set, bank set, row
+:class:`RangeMask` and column-bit :class:`RangeMask` into the physical
+location set of one fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.stack.geometry import StackGeometry
+
+
+@dataclass(frozen=True)
+class RangeMask:
+    """The set ``{a in [0, 2**width) : a & ~mask == base}``.
+
+    ``base`` must not have bits set inside ``mask`` (they would be ignored);
+    the constructor canonicalizes so equal sets compare equal.
+    """
+
+    base: int
+    mask: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigurationError(f"width must be positive, got {self.width}")
+        universe = (1 << self.width) - 1
+        if self.mask & ~universe:
+            raise ConfigurationError(
+                f"mask {self.mask:#x} exceeds width {self.width}"
+            )
+        if self.base & ~universe:
+            raise ConfigurationError(
+                f"base {self.base:#x} exceeds width {self.width}"
+            )
+        # Canonicalize: clear don't-care bits from the base.
+        object.__setattr__(self, "base", self.base & ~self.mask)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single(cls, value: int, width: int) -> "RangeMask":
+        """The singleton set {value}."""
+        return cls(base=value, mask=0, width=width)
+
+    @classmethod
+    def full(cls, width: int) -> "RangeMask":
+        """The complete universe [0, 2**width)."""
+        return cls(base=0, mask=(1 << width) - 1, width=width)
+
+    @classmethod
+    def aligned_block(cls, start: int, block: int, width: int) -> "RangeMask":
+        """An aligned power-of-two block ``[start, start+block)``."""
+        if block & (block - 1) or block <= 0:
+            raise ConfigurationError(f"block size {block} must be a power of two")
+        if start % block:
+            raise ConfigurationError(
+                f"start {start} not aligned to block size {block}"
+            )
+        return cls(base=start, mask=block - 1, width=width)
+
+    @classmethod
+    def address_bit(cls, bit: int, value: int, width: int) -> "RangeMask":
+        """The half-universe where address bit ``bit`` equals ``value``.
+
+        This is the footprint of a stuck address TSV (§V-B): half of the
+        rows become unreachable.
+        """
+        if not 0 <= bit < width:
+            raise ConfigurationError(f"bit {bit} out of range for width {width}")
+        if value not in (0, 1):
+            raise ConfigurationError("value must be 0 or 1")
+        universe = (1 << width) - 1
+        return cls(base=(value << bit), mask=universe & ~(1 << bit), width=width)
+
+    # ------------------------------------------------------------------ #
+    # Set operations
+    # ------------------------------------------------------------------ #
+    def __contains__(self, value: int) -> bool:
+        return (value & ~self.mask) == self.base
+
+    def __len__(self) -> int:
+        return 1 << bin(self.mask).count("1")
+
+    def is_full(self) -> bool:
+        return self.mask == (1 << self.width) - 1
+
+    def is_singleton(self) -> bool:
+        return self.mask == 0
+
+    def intersects(self, other: "RangeMask") -> bool:
+        """True iff the two sets share at least one element."""
+        if self.width != other.width:
+            raise ConfigurationError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+        agree = ~(self.mask | other.mask)
+        return (self.base ^ other.base) & agree == 0
+
+    def intersection(self, other: "RangeMask") -> Optional["RangeMask"]:
+        """The intersection set, or None if disjoint."""
+        if not self.intersects(other):
+            return None
+        mask = self.mask & other.mask
+        base = (self.base | other.base) & ~mask
+        return RangeMask(base=base, mask=mask, width=self.width)
+
+    def intersection_size(self, other: "RangeMask") -> int:
+        inter = self.intersection(other)
+        return 0 if inter is None else len(inter)
+
+    def covers(self, other: "RangeMask") -> bool:
+        """True iff ``other`` is a subset of this set."""
+        if self.width != other.width:
+            raise ConfigurationError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+        if other.mask & ~self.mask:
+            return False
+        return (other.base & ~self.mask) == self.base
+
+    def iter_values(self, limit: Optional[int] = None) -> Iterator[int]:
+        """Enumerate members in increasing order (small sets only).
+
+        Raises :class:`ConfigurationError` if the set is larger than
+        ``limit`` (default 1<<20) to protect against accidental enumeration
+        of bank-sized footprints.
+        """
+        cap = 1 << 20 if limit is None else limit
+        if len(self) > cap:
+            raise ConfigurationError(
+                f"refusing to enumerate {len(self)} values (limit {cap})"
+            )
+        free_bits = [i for i in range(self.width) if self.mask >> i & 1]
+        for combo in range(1 << len(free_bits)):
+            value = self.base
+            for j, bit in enumerate(free_bits):
+                if combo >> j & 1:
+                    value |= 1 << bit
+            yield value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RangeMask(base={self.base:#x}, mask={self.mask:#x}, width={self.width})"
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The physical location set of one fault.
+
+    A footprint is the cartesian product ``dies x banks x rows x cols``
+    where rows and column-bit offsets are :class:`RangeMask` sets.  All
+    fault shapes in the paper (Figure 2) factor this way.
+    """
+
+    dies: FrozenSet[int]
+    banks: FrozenSet[int]
+    rows: RangeMask
+    cols: RangeMask
+
+    def __post_init__(self) -> None:
+        if not self.dies:
+            raise ConfigurationError("footprint must touch at least one die")
+        if not self.banks:
+            raise ConfigurationError("footprint must touch at least one bank")
+        object.__setattr__(self, "dies", frozenset(self.dies))
+        object.__setattr__(self, "banks", frozenset(self.banks))
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        geometry: StackGeometry,
+        dies: Iterable[int],
+        banks: Iterable[int],
+        rows: RangeMask,
+        cols: RangeMask,
+    ) -> "Footprint":
+        dies = frozenset(dies)
+        banks = frozenset(banks)
+        for die in dies:
+            geometry.check_die(die)
+        for bank in banks:
+            geometry.check_bank(bank)
+        if rows.width != geometry.row_address_bits:
+            raise ConfigurationError(
+                f"row mask width {rows.width} != geometry "
+                f"row_address_bits {geometry.row_address_bits}"
+            )
+        if cols.width != geometry.col_address_bits:
+            raise ConfigurationError(
+                f"col mask width {cols.width} != geometry "
+                f"col_address_bits {geometry.col_address_bits}"
+            )
+        return cls(dies=dies, banks=banks, rows=rows, cols=cols)
+
+    # ------------------------------------------------------------------ #
+    # Shape queries used by the correctability models
+    # ------------------------------------------------------------------ #
+    @property
+    def num_bank_instances(self) -> int:
+        """Number of distinct (die, bank) pairs touched."""
+        return len(self.dies) * len(self.banks)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_cols(self) -> int:
+        return len(self.cols)
+
+    def bits_per_bank_instance(self) -> int:
+        return self.num_rows * self.num_cols
+
+    def total_bits(self) -> int:
+        return self.num_bank_instances * self.bits_per_bank_instance()
+
+    def contains(self, die: int, bank: int, row: int, col: int) -> bool:
+        return (
+            die in self.dies
+            and bank in self.banks
+            and row in self.rows
+            and col in self.cols
+        )
+
+    def overlaps(self, other: "Footprint") -> bool:
+        """True iff the two footprints share a physical bit."""
+        return (
+            bool(self.dies & other.dies)
+            and bool(self.banks & other.banks)
+            and self.rows.intersects(other.rows)
+            and self.cols.intersects(other.cols)
+        )
+
+    def spans_multiple_banks(self) -> bool:
+        return self.num_bank_instances > 1
+
+    def spans_multiple_rows(self) -> bool:
+        return self.num_rows > 1
+
+    def covers(self, other: "Footprint") -> bool:
+        """True iff every bit of ``other`` is also a bit of this footprint.
+
+        A fault nested inside another adds no new bad bits; correctability
+        models use this to absorb it.
+        """
+        return (
+            other.dies <= self.dies
+            and other.banks <= self.banks
+            and self.rows.covers(other.rows)
+            and self.cols.covers(other.cols)
+        )

@@ -1,0 +1,270 @@
+"""Monte-Carlo fault injection (the arrival half of a FaultSim-like engine).
+
+Fault arrivals form a Poisson process whose intensity is the total FIT of
+the device: the sum of the per-die DRAM rates (Table I) over all dies plus
+the TSV device FIT.  Each arrival is attributed to a (kind, permanence,
+location) by sampling proportionally to the individual rates, and placed
+uniformly at random inside the structure it affects — exactly the procedure
+described for FaultSim [10].
+
+For very reliable schemes (Citadel's failure probability is ~1e-6 per
+lifetime) naive sampling wastes almost every trial on empty lifetimes, so
+:meth:`FaultInjector.sample_lifetime` supports *stratified* sampling: the
+number of faults ``N`` is drawn conditioned on ``N >= min_faults`` and the
+trial carries the importance weight ``P(N >= min_faults)``.  Failure
+probability estimates then remain unbiased provided failures require at
+least ``min_faults`` faults (e.g. two for any single-fault-correcting
+scheme).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.rates import FailureRates
+from repro.faults.types import (
+    WORD_BITS,
+    Fault,
+    FaultKind,
+    Permanence,
+    make_addr_tsv_fault,
+    make_bank_fault,
+    make_bit_fault,
+    make_column_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+    make_subarray_fault,
+    make_word_fault,
+)
+from repro.stack.geometry import LIFETIME_HOURS, StackGeometry
+
+_FIT_TO_PER_HOUR = 1e-9
+
+
+@dataclass(frozen=True)
+class _RateEntry:
+    kind: FaultKind
+    permanence: Permanence
+    rate_per_hour: float
+
+
+class FaultInjector:
+    """Samples the fault history of one stack over a lifetime."""
+
+    def __init__(
+        self,
+        geometry: StackGeometry,
+        rates: FailureRates,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.rates = rates
+        self.rng = rng if rng is not None else random.Random()
+        self._entries = self._build_entries()
+        self._total_rate = sum(e.rate_per_hour for e in self._entries)
+        self._weights = [e.rate_per_hour for e in self._entries]
+
+    # ------------------------------------------------------------------ #
+    def _build_entries(self) -> List[_RateEntry]:
+        geometry, rates = self.geometry, self.rates
+        num_dies = (
+            geometry.total_dies
+            if rates.include_metadata_die
+            else geometry.data_dies
+        )
+        entries: List[_RateEntry] = []
+        for kind, (transient, permanent) in rates.die_fit.items():
+            for permanence, fit in (
+                (Permanence.TRANSIENT, transient),
+                (Permanence.PERMANENT, permanent),
+            ):
+                if fit > 0:
+                    entries.append(
+                        _RateEntry(kind, permanence, fit * num_dies * _FIT_TO_PER_HOUR)
+                    )
+        if rates.tsv_device_fit > 0:
+            entries.append(
+                _RateEntry(
+                    FaultKind.DATA_TSV,  # refined into DTSV/ATSV when placed
+                    Permanence.PERMANENT,
+                    rates.tsv_device_fit * _FIT_TO_PER_HOUR,
+                )
+            )
+        if not entries:
+            raise ConfigurationError("all failure rates are zero")
+        return entries
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_rate_per_hour(self) -> float:
+        return self._total_rate
+
+    def expected_faults(self, lifetime_hours: float = LIFETIME_HOURS) -> float:
+        return self._total_rate * lifetime_hours
+
+    def prob_at_least(
+        self, min_faults: int, lifetime_hours: float = LIFETIME_HOURS
+    ) -> float:
+        """P(N >= min_faults) for the Poisson fault count."""
+        lam = self.expected_faults(lifetime_hours)
+        if min_faults <= 0:
+            return 1.0
+        cdf = 0.0
+        term = math.exp(-lam)
+        for k in range(min_faults):
+            cdf += term
+            term *= lam / (k + 1)
+        return max(0.0, 1.0 - cdf)
+
+    # ------------------------------------------------------------------ #
+    def sample_lifetime(
+        self,
+        lifetime_hours: float = LIFETIME_HOURS,
+        min_faults: int = 0,
+    ) -> Tuple[List[Fault], float]:
+        """Sample one lifetime's fault history.
+
+        Returns ``(faults, weight)`` where ``faults`` are sorted by arrival
+        time and ``weight`` is the probability mass of the stratum the
+        sample was drawn from (1.0 for unconditioned sampling).
+        """
+        lam = self.expected_faults(lifetime_hours)
+        if min_faults <= 0:
+            count = self._sample_poisson(lam)
+            weight = 1.0
+        else:
+            count = self._sample_truncated_poisson(lam, min_faults)
+            weight = self.prob_at_least(min_faults, lifetime_hours)
+        faults = [self._sample_fault() for _ in range(count)]
+        times = sorted(self.rng.uniform(0.0, lifetime_hours) for _ in range(count))
+        faults = [fault.at_time(t) for fault, t in zip(faults, times)]
+        return faults, weight
+
+    # ------------------------------------------------------------------ #
+    def _sample_poisson(self, lam: float) -> int:
+        """Knuth's algorithm; lam is a handful of faults at most."""
+        threshold = math.exp(-lam)
+        count, product = 0, self.rng.random()
+        while product > threshold:
+            count += 1
+            product *= self.rng.random()
+        return count
+
+    def _sample_truncated_poisson(self, lam: float, minimum: int) -> int:
+        """Sample N ~ Poisson(lam) conditioned on N >= minimum."""
+        if lam <= 0:
+            raise ConfigurationError(
+                "cannot condition on faults with a zero total rate"
+            )
+        term = math.exp(-lam)
+        cdf = 0.0
+        for k in range(minimum):
+            cdf += term
+            term *= lam / (k + 1)
+        tail_mass = max(1e-300, 1.0 - cdf)
+        u = self.rng.random() * tail_mass
+        k = minimum
+        # ``term`` is now pmf(minimum).
+        acc = 0.0
+        while True:
+            acc += term
+            if u <= acc or term < 1e-300:
+                return k
+            k += 1
+            term *= lam / k
+
+    # ------------------------------------------------------------------ #
+    def _sample_fault(self) -> Fault:
+        entry = self.rng.choices(self._entries, weights=self._weights, k=1)[0]
+        if entry.kind.is_tsv:
+            return self._sample_tsv_fault()
+        return self._sample_dram_fault(entry.kind, entry.permanence)
+
+    def _sample_die(self) -> int:
+        num_dies = (
+            self.geometry.total_dies
+            if self.rates.include_metadata_die
+            else self.geometry.data_dies
+        )
+        return self.rng.randrange(num_dies)
+
+    def _sample_dram_fault(self, kind: FaultKind, permanence: Permanence) -> Fault:
+        geometry, rng = self.geometry, self.rng
+        die = self._sample_die()
+        bank = rng.randrange(geometry.banks_per_die)
+        if kind is FaultKind.BIT:
+            return make_bit_fault(
+                geometry,
+                die,
+                bank,
+                rng.randrange(geometry.rows_per_bank),
+                rng.randrange(geometry.row_bits),
+                permanence,
+            )
+        if kind is FaultKind.WORD:
+            words_per_row = max(1, geometry.row_bits // WORD_BITS)
+            return make_word_fault(
+                geometry,
+                die,
+                bank,
+                rng.randrange(geometry.rows_per_bank),
+                rng.randrange(words_per_row),
+                permanence,
+            )
+        if kind is FaultKind.COLUMN:
+            return make_column_fault(
+                geometry,
+                die,
+                bank,
+                rng.randrange(geometry.row_bits),
+                permanence,
+            )
+        if kind is FaultKind.ROW:
+            return make_row_fault(
+                geometry, die, bank, rng.randrange(geometry.rows_per_bank), permanence
+            )
+        if kind is FaultKind.SUBARRAY:
+            return make_subarray_fault(
+                geometry,
+                die,
+                bank,
+                rng.randrange(geometry.subarrays_per_bank),
+                permanence,
+            )
+        if kind is FaultKind.BANK:
+            # Table I's "single bank" rate: transposed to subarray failures
+            # unless the 'full' ablation is selected (§II-B, Figure 17).
+            if self.rates.bank_fault_granularity == "subarray":
+                return make_subarray_fault(
+                    geometry,
+                    die,
+                    bank,
+                    rng.randrange(geometry.subarrays_per_bank),
+                    permanence,
+                )
+            return make_bank_fault(geometry, die, bank, permanence)
+        raise ConfigurationError(f"unsupported DRAM fault kind: {kind}")
+
+    def _sample_tsv_fault(self) -> Fault:
+        """TSV faults land on a uniformly random TSV of a random channel.
+
+        The DTSV/ATSV split is proportional to the TSV populations
+        (256:24 per channel in the baseline geometry).
+        """
+        geometry, rng = self.geometry, self.rng
+        channel = rng.randrange(geometry.channels)
+        num_dtsv = geometry.data_tsvs_per_channel
+        num_atsv = geometry.addr_tsvs_per_channel
+        pick = rng.randrange(num_dtsv + num_atsv)
+        if pick < num_dtsv:
+            return make_data_tsv_fault(geometry, channel, pick)
+        return make_addr_tsv_fault(
+            geometry,
+            channel,
+            pick - num_dtsv,
+            stuck_value=rng.randrange(2),
+        )

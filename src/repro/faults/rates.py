@@ -1,0 +1,137 @@
+"""Failure-rate tables (Table I) and the 1 Gb -> 8 Gb scaling rules (§III-A).
+
+The paper starts from the per-chip FIT rates measured in the field by
+Sridharan and Liberty for 1 Gb DRAM chips and scales them to the 8 Gb dies
+of the evaluated stack:
+
+* bit and word rates scale with capacity (x8);
+* row rates scale with the number of rows per bank (16K -> 64K, x4);
+* column rates scale with the estimated column-decoder logic size (x1.9);
+* bank rates scale with the number of subarrays (x8, constant subarray
+  size to maintain bitline capacitance).
+
+TSV failure data is not publicly available, so — exactly as in the paper —
+the TSV *device* FIT rate is a swept parameter (14 to 1,430 FIT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.types import FaultKind, Permanence
+
+#: Field-measured FIT per 1 Gb chip (transient, permanent), Sridharan SC'12.
+SRIDHARAN_1GB_FIT: Mapping[FaultKind, Tuple[float, float]] = {
+    FaultKind.BIT: (14.2, 18.6),
+    FaultKind.WORD: (1.4, 0.3),
+    FaultKind.COLUMN: (1.4, 5.5),
+    FaultKind.ROW: (0.2, 8.2),
+    FaultKind.BANK: (0.8, 10.0),
+}
+
+#: The paper's 1 Gb -> 8 Gb scale factor per fault kind (§III-A).
+SCALE_1GB_TO_8GB: Mapping[FaultKind, float] = {
+    FaultKind.BIT: 8.0,
+    FaultKind.WORD: 8.0,
+    FaultKind.COLUMN: 1.9,
+    FaultKind.ROW: 4.0,
+    FaultKind.BANK: 8.0,
+}
+
+#: TSV device-FIT sweep endpoints used throughout the evaluation (§III-A).
+TSV_FIT_SWEEP: Tuple[float, ...] = (14.0, 143.0, 1430.0)
+
+#: The "high TSV fault rate" point used for the TSV-Swap study (§V-D).
+TSV_FIT_HIGH = 1430.0
+
+
+def scale_die_rates(
+    base: Mapping[FaultKind, Tuple[float, float]] = SRIDHARAN_1GB_FIT,
+    factors: Mapping[FaultKind, float] = SCALE_1GB_TO_8GB,
+) -> Dict[FaultKind, Tuple[float, float]]:
+    """Apply the paper's scaling rules; reproduces Table I's DRAM rows."""
+    scaled = {}
+    for kind, (transient, permanent) in base.items():
+        factor = factors[kind]
+        scaled[kind] = (
+            round(transient * factor, 4),
+            round(permanent * factor, 4),
+        )
+    return scaled
+
+
+#: Table I — per-die FIT for the 8 Gb dies of the evaluated stack.
+TABLE_I_8GB_FIT: Mapping[FaultKind, Tuple[float, float]] = scale_die_rates()
+
+
+@dataclass(frozen=True)
+class FailureRates:
+    """FIT configuration for a reliability experiment.
+
+    ``die_fit`` maps each DRAM fault kind to (transient, permanent) FIT per
+    die.  ``tsv_device_fit`` is the aggregate FIT of all TSVs of the device
+    (the swept quantity); TSV faults are modeled as permanent.
+    ``include_metadata_die`` controls whether the metadata/ECC die is also
+    subject to DRAM faults (it is, by default — the check symbols can fail
+    too).
+    """
+
+    die_fit: Mapping[FaultKind, Tuple[float, float]] = None  # type: ignore[assignment]
+    tsv_device_fit: float = 0.0
+    include_metadata_die: bool = True
+    #: How Table I's "single bank" rate manifests in the stack:
+    #: 'subarray' (the paper's transposition — §II-B: complete-bank losses
+    #: come from TSVs; the intrinsic rate was scaled by subarray count and
+    #: each event kills one subarray, per Figure 17) or 'full' (a complete
+    #: bank per event, for ablation).
+    bank_fault_granularity: str = "subarray"
+
+    def __post_init__(self) -> None:
+        if self.die_fit is None:
+            object.__setattr__(self, "die_fit", dict(TABLE_I_8GB_FIT))
+        for kind, pair in self.die_fit.items():
+            if kind.is_tsv:
+                raise ConfigurationError(
+                    "TSV rates are configured via tsv_device_fit, not die_fit"
+                )
+            if len(pair) != 2 or min(pair) < 0:
+                raise ConfigurationError(
+                    f"die_fit[{kind}] must be a (transient, permanent) pair "
+                    f"of non-negative FITs, got {pair}"
+                )
+        if self.tsv_device_fit < 0:
+            raise ConfigurationError("tsv_device_fit must be non-negative")
+        if self.bank_fault_granularity not in ("subarray", "full"):
+            raise ConfigurationError(
+                "bank_fault_granularity must be 'subarray' or 'full', got "
+                f"{self.bank_fault_granularity!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def rate(self, kind: FaultKind, permanence: Permanence) -> float:
+        """FIT per die for a DRAM fault kind."""
+        transient, permanent = self.die_fit[kind]
+        return transient if permanence is Permanence.TRANSIENT else permanent
+
+    def die_total_fit(self) -> float:
+        """Total DRAM-fault FIT per die (both permanences)."""
+        return sum(t + p for t, p in self.die_fit.values())
+
+    def with_tsv_fit(self, tsv_device_fit: float) -> "FailureRates":
+        return replace(self, tsv_device_fit=tsv_device_fit)
+
+    def without_tsv_faults(self) -> "FailureRates":
+        return replace(self, tsv_device_fit=0.0)
+
+    @classmethod
+    def paper_baseline(
+        cls, tsv_device_fit: float = 0.0, **overrides
+    ) -> "FailureRates":
+        """Table I rates with a chosen TSV device FIT."""
+        return cls(
+            die_fit=dict(TABLE_I_8GB_FIT),
+            tsv_device_fit=tsv_device_fit,
+            **overrides,
+        )

@@ -1,0 +1,74 @@
+"""Bank and channel resource models for the performance simulator.
+
+Each bank is an open-page state machine with a ``busy_until`` horizon and
+the identity of the open row; each channel owns a shared data bus.  The
+simulator serves requests in arrival order (FCFS — a conservative stand-in
+for FR-FCFS) by reserving the bank and then a bus slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.perf.timing import DRAMTimings
+
+
+@dataclass
+class BankState:
+    """Open-page bank with a single availability horizon."""
+
+    timings: DRAMTimings
+    open_row: Optional[int] = None
+    busy_until: int = 0
+    activations: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def access(self, at: int, row: int, is_write: bool) -> int:
+        """Serve one column access; returns the cycle data is available.
+
+        ``at`` is the earliest cycle the access may start (request arrival
+        at the controller).
+        """
+        t = self.timings
+        start = max(at, self.busy_until)
+        if self.open_row == row:
+            self.row_hits += 1
+            data_at = start + t.row_hit_latency
+            self.busy_until = data_at
+        else:
+            self.row_misses += 1
+            self.activations += 1
+            act_at = start + t.tRP
+            data_at = act_at + t.tRCD + t.tCAS
+            # The row must stay active for tRAS before the next precharge,
+            # so a conflicting access cannot begin earlier than that.
+            self.busy_until = max(data_at, act_at + t.tRAS)
+            self.open_row = row
+        if is_write:
+            self.busy_until += t.tWTR
+        return data_at
+
+
+@dataclass
+class ChannelState:
+    """One channel: its banks plus the shared data bus."""
+
+    timings: DRAMTimings
+    num_banks: int
+    banks: list = field(default_factory=list)
+    bus_free_at: int = 0
+    bus_busy_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            self.banks = [BankState(self.timings) for _ in range(self.num_banks)]
+
+    def reserve_bus(self, at: int) -> int:
+        """Claim the next bus slot at or after ``at``; returns transfer end."""
+        start = max(at, self.bus_free_at)
+        end = start + self.timings.tBURST
+        self.bus_free_at = end
+        self.bus_busy_cycles += self.timings.tBURST
+        return end

@@ -1,0 +1,271 @@
+"""The system performance simulator (§III-B).
+
+8 cores with limited memory-level parallelism share the stacked-memory
+channels; requests are expanded according to the striping policy and
+served FCFS against open-page bank state machines and per-channel data
+buses.  The 3DP overlay adds, per writeback: a read-before-write (the XOR
+delta of Figure 12), a parity-line lookup in the LLC and — on a miss —
+a parity fetch from (and eventual writeback to) the parity bank.
+
+Outputs: execution time (max over cores), event counters for the power
+model, row-buffer and parity-cache statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.perf.bank import ChannelState
+from repro.perf.llc import LRUCache
+from repro.perf.power import EnergyCounters
+from repro.perf.timing import DRAMTimings
+from repro.stack.address import LineLocation
+from repro.stack.geometry import StackGeometry
+from repro.stack.striping import StripingPolicy, sub_accesses
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """One simulated memory organization."""
+
+    striping: StripingPolicy = StripingPolicy.SAME_BANK
+    #: Enable the 3DP write path (RBW + dim-1 parity updates).
+    parity_protection: bool = False
+    #: Cache dim-1 parity lines in the LLC (§VI-C); when False every
+    #: writeback reads and rewrites the parity line in memory.
+    parity_caching: bool = True
+    mlp_per_core: int = 4
+    llc_capacity_bytes: int = 8 << 20
+    llc_ways: int = 8
+    #: Number of stacks in the system (Table II: 2 x 8 GB).
+    stacks: int = 2
+
+    def label(self) -> str:
+        if not self.parity_protection:
+            return self.striping.label
+        suffix = "with parity caching" if self.parity_caching else "no parity caching"
+        return f"3DP ({suffix})"
+
+
+@dataclass
+class PerfResult:
+    """Measurements from one simulation run."""
+
+    label: str
+    exec_cycles: int
+    counters: EnergyCounters
+    demand_reads: int = 0
+    demand_writes: int = 0
+    rbw_reads: int = 0
+    parity_fetches: int = 0
+    parity_writebacks: int = 0
+    parity_lookups: int = 0
+    parity_hits: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    core_finish_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def parity_hit_rate(self) -> float:
+        if not self.parity_lookups:
+            return 0.0
+        return self.parity_hits / self.parity_lookups
+
+    @property
+    def row_buffer_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def normalized_time(self, baseline: "PerfResult") -> float:
+        return self.exec_cycles / baseline.exec_cycles
+
+
+class SystemSimulator:
+    """Event-ordered FCFS simulation of the full memory system."""
+
+    def __init__(
+        self,
+        geometry: StackGeometry,
+        config: PerfConfig,
+        timings: DRAMTimings = DRAMTimings(),
+    ) -> None:
+        self.geometry = geometry
+        self.config = config
+        self.timings = timings
+
+    # ------------------------------------------------------------------ #
+    def run(self, traces: Sequence[Trace]) -> PerfResult:
+        if not traces:
+            raise ConfigurationError("need at least one core trace")
+        geometry, config = self.geometry, self.config
+        channels = [
+            ChannelState(self.timings, geometry.banks_per_die)
+            for _ in range(config.stacks * geometry.channels)
+        ]
+        llc = LRUCache(
+            num_sets=config.llc_capacity_bytes // 64 // config.llc_ways,
+            ways=config.llc_ways,
+        )
+        result = PerfResult(label=config.label(), exec_cycles=0,
+                            counters=EnergyCounters())
+
+        # Per-core cursors: (next_issue_time, core_id) on a heap.
+        positions = [0] * len(traces)
+        outstanding: List[List[int]] = [[] for _ in traces]
+        clocks = [0] * len(traces)
+        finish = [0] * len(traces)
+        heap: List[Tuple[int, int]] = []
+        for cid, trace in enumerate(traces):
+            if len(trace):
+                clocks[cid] = trace.requests[0].gap_cycles
+                heapq.heappush(heap, (clocks[cid], cid))
+
+        while heap:
+            now, cid = heapq.heappop(heap)
+            trace = traces[cid]
+            request = trace.requests[positions[cid]]
+            completion = self._serve(request, now, channels, llc, result)
+            finish[cid] = max(finish[cid], completion)
+            # Writebacks also hold a window slot: evictions are produced by
+            # the same miss stream, so a stalled core stops emitting them
+            # (keeps the request loop closed under saturation).
+            heapq.heappush(outstanding[cid], completion)
+            positions[cid] += 1
+            if positions[cid] >= len(trace):
+                continue
+            next_time = now + trace.requests[positions[cid]].gap_cycles
+            pending = outstanding[cid]
+            window = trace.mlp if trace.mlp else self.config.mlp_per_core
+            # Retire completions that happened by then.
+            while pending and pending[0] <= next_time:
+                heapq.heappop(pending)
+            # Window full: stall until the oldest miss returns.
+            while len(pending) >= window:
+                next_time = max(next_time, heapq.heappop(pending))
+            heapq.heappush(heap, (next_time, cid))
+
+        result.core_finish_cycles = finish
+        result.exec_cycles = max(finish) if finish else 0
+        for channel in channels:
+            for bank in channel.banks:
+                result.counters.activations += bank.activations
+                result.row_hits += bank.row_hits
+                result.row_misses += bank.row_misses
+        result.counters.exec_cycles = result.exec_cycles
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _serve(
+        self,
+        request,
+        now: int,
+        channels: List[ChannelState],
+        llc: LRUCache,
+        result: PerfResult,
+    ) -> int:
+        """Serve one demand request; returns its completion cycle."""
+        config = self.config
+        # Demand lines occupy (and pressure) the LLC.
+        llc.access(("demand", request.home))
+        if request.is_write:
+            result.demand_writes += 1
+        else:
+            result.demand_reads += 1
+
+        completion = now
+        if config.parity_protection and request.is_write:
+            # Read-before-write: obtain old data for the XOR delta.
+            completion = self._memory_access(
+                request.home, now, is_write=False, channels=channels,
+                result=result,
+            )
+            result.rbw_reads += 1
+        completion = self._memory_access(
+            request.home, completion, is_write=request.is_write,
+            channels=channels, result=result,
+        )
+        if config.parity_protection and request.is_write:
+            self._update_parity(request.home, completion, channels, llc, result)
+        return completion
+
+    def _memory_access(
+        self,
+        home: LineLocation,
+        at: int,
+        is_write: bool,
+        channels: List[ChannelState],
+        result: PerfResult,
+    ) -> int:
+        """Expand per the striping policy and reserve banks + buses.
+
+        Sub-accesses within one channel gang onto a single bus burst (the
+        banks drive disjoint TSV subsets of the same beats, §V-A), so an
+        Across-Banks access costs one bus slot on one channel while an
+        Across-Channels access costs one slot on every channel.
+        """
+        completion = at
+        per_channel_data: dict = {}
+        for sub in sub_accesses(self.config.striping, self.geometry, home):
+            bank = channels[sub.channel].banks[sub.bank]
+            data_at = bank.access(at, sub.row, is_write)
+            prev = per_channel_data.get(sub.channel, 0)
+            per_channel_data[sub.channel] = max(prev, data_at)
+            if is_write:
+                result.counters.write_bytes += sub.bytes
+            else:
+                result.counters.read_bytes += sub.bytes
+        for channel_id, data_at in per_channel_data.items():
+            done = channels[channel_id].reserve_bus(data_at)
+            completion = max(completion, done)
+        return completion
+
+    # ------------------------------------------------------------------ #
+    def _parity_home(self, home: LineLocation) -> LineLocation:
+        """Physical home of the dim-1 parity line for this group.
+
+        The parity bank is an address range spread over physical banks by
+        swapping bank/channel bits (paper footnote 4), so parity traffic
+        does not bottleneck one bank.
+        """
+        g = self.geometry
+        stack_base = (home.channel // g.channels) * g.channels
+        return LineLocation(
+            channel=stack_base + (home.row + home.slot) % g.channels,
+            bank=(home.row // g.channels) % g.banks_per_die,
+            row=home.row,
+            slot=home.slot,
+        )
+
+    def _update_parity(
+        self,
+        home: LineLocation,
+        at: int,
+        channels: List[ChannelState],
+        llc: LRUCache,
+        result: PerfResult,
+    ) -> None:
+        """Dim-1 parity update for a writeback (Figure 12)."""
+        result.parity_lookups += 1
+        group = ("parity", home.row, home.slot)
+        if self.config.parity_caching:
+            if llc.access(group):
+                result.parity_hits += 1
+                return  # on-chip XOR update, no memory traffic
+            # Miss: fetch the parity line, install in LLC; a dirty parity
+            # line is eventually written back — account for it now.
+            parity_home = self._parity_home(home)
+            self._memory_access(parity_home, at, False, channels, result)
+            result.parity_fetches += 1
+            self._memory_access(parity_home, at, True, channels, result)
+            result.parity_writebacks += 1
+            return
+        # No caching: read-modify-write the parity line in memory.
+        parity_home = self._parity_home(home)
+        done = self._memory_access(parity_home, at, False, channels, result)
+        result.parity_fetches += 1
+        self._memory_access(parity_home, done, True, channels, result)
+        result.parity_writebacks += 1

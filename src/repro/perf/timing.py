@@ -1,0 +1,49 @@
+"""DRAM timing parameters (Table II).
+
+All times are in memory-bus clock cycles at 800 MHz (DDR3-1600 data
+rate): tWTR-tCAS-tRCD-tRP-tRAS = 7-9-9-9-36.  The CPU runs at 3.2 GHz,
+i.e. ``CPU_CYCLES_PER_MEM_CYCLE`` = 4 core cycles per memory cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: 3.2 GHz cores over an 800 MHz memory clock (Table II).
+CPU_CYCLES_PER_MEM_CYCLE = 4
+
+#: HBM refresh interval (§III-B): 32 ms at 800 MHz.
+REFRESH_INTERVAL_CYCLES = int(32e-3 * 800e6)
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """Bank and bus timing constraints, in memory-clock cycles."""
+
+    tWTR: int = 7   # write-to-read turnaround
+    tCAS: int = 9   # column access (read latency)
+    tRCD: int = 9   # row activate to column access
+    tRP: int = 9    # precharge
+    tRAS: int = 36  # row active time (ACT to PRE)
+    #: Data-bus occupancy of one line transfer.  With 256 data TSVs and
+    #: burst length 2, a 64 B line moves in one bus clock; striped mappings
+    #: gang their sub-bursts onto the same beats (§V-A).
+    tBURST: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("tWTR", "tCAS", "tRCD", "tRP", "tRAS", "tBURST"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.tRAS < self.tRCD:
+            raise ConfigurationError("tRAS must cover at least tRCD")
+
+    @property
+    def row_miss_penalty(self) -> int:
+        """PRE + ACT + CAS for a row-buffer miss."""
+        return self.tRP + self.tRCD + self.tCAS
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.tCAS

@@ -1,0 +1,15 @@
+"""Monte-Carlo lifetime reliability engine (FaultSim-like)."""
+
+from repro.reliability.analytic import AnalyticModel
+from repro.reliability.availability import AvailabilityModel
+from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
+from repro.reliability.results import ReliabilityResult, SparingStats
+
+__all__ = [
+    "LifetimeSimulator",
+    "EngineConfig",
+    "AnalyticModel",
+    "AvailabilityModel",
+    "ReliabilityResult",
+    "SparingStats",
+]

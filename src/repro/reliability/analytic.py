@@ -1,0 +1,141 @@
+"""Closed-form cross-checks for the Monte-Carlo engine.
+
+For small fault rates, the probability of a *pair* of independent faults
+arriving within a lifetime and colliding is, to first order,
+
+    P(pair)  ~  lambda_A * lambda_B * P(collide | one of each)
+
+(and lambda^2/2 for identical types).  These expressions are accurate to
+a few percent at Table I's rates (expected faults per lifetime << 1) and
+give an independent check that the simulator's dominant failure modes
+carry the right weight.  The module also exposes the exact Poisson
+arithmetic used to validate the engine's stratified sampling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.faults.rates import FailureRates
+from repro.faults.types import FaultKind, Permanence
+from repro.stack.geometry import LIFETIME_HOURS, StackGeometry
+
+_FIT_TO_PER_HOUR = 1e-9
+
+
+@dataclass(frozen=True)
+class AnalyticModel:
+    """First-order reliability arithmetic for one (geometry, rates)."""
+
+    geometry: StackGeometry
+    rates: FailureRates
+    lifetime_hours: float = LIFETIME_HOURS
+
+    # ------------------------------------------------------------------ #
+    def expected_faults(
+        self, kind: FaultKind, permanence: Permanence
+    ) -> float:
+        """Expected number of faults of one (kind, permanence) per
+        lifetime, across all dies."""
+        num_dies = (
+            self.geometry.total_dies
+            if self.rates.include_metadata_die
+            else self.geometry.data_dies
+        )
+        fit = self.rates.rate(kind, permanence)
+        return fit * num_dies * _FIT_TO_PER_HOUR * self.lifetime_hours
+
+    def expected_permanent(self, kind: FaultKind) -> float:
+        return self.expected_faults(kind, Permanence.PERMANENT)
+
+    def expected_all_faults(self) -> float:
+        total = sum(
+            self.expected_faults(kind, perm)
+            for kind in self.rates.die_fit
+            for perm in (Permanence.TRANSIENT, Permanence.PERMANENT)
+        )
+        return total + (
+            self.rates.tsv_device_fit * _FIT_TO_PER_HOUR * self.lifetime_hours
+        )
+
+    def prob_at_least(self, k: int) -> float:
+        """P(N >= k) for the Poisson lifetime fault count — the stratum
+        weight the engine must use."""
+        lam = self.expected_all_faults()
+        cdf = 0.0
+        term = math.exp(-lam)
+        for i in range(k):
+            cdf += term
+            term *= lam / (i + 1)
+        return max(0.0, 1.0 - cdf)
+
+    # ------------------------------------------------------------------ #
+    # Dominant failure modes of 3DP without DDS (§VI model)
+    # ------------------------------------------------------------------ #
+    def p_pair(self, lam_a: float, lam_b: float, identical: bool = False) -> float:
+        """First-order probability that one fault of each type arrives."""
+        if identical:
+            return lam_a * lam_a / 2.0
+        return lam_a * lam_b
+
+    def three_dp_failure_estimate(self) -> Dict[str, float]:
+        """First-order estimate of 3DP-without-DDS failure modes.
+
+        * two subarray failures with the same subarray index collide in
+          dimension 1 (probability 1/subarrays_per_bank);
+        * a column fault collides with any concurrent subarray failure
+          (the column's rows always intersect, its column is always
+          inside the subarray's full-row footprint);
+        * two column faults collide only on equal column bits (negligible).
+        """
+        lam_sub = self.expected_permanent(FaultKind.BANK)
+        lam_col = self.expected_permanent(FaultKind.COLUMN)
+        subarrays = self.geometry.subarrays_per_bank
+        same_index = self.p_pair(lam_sub, lam_sub, identical=True) / subarrays
+        col_sub = self.p_pair(lam_col, lam_sub)
+        col_col = self.p_pair(lam_col, lam_col, identical=True) / (
+            self.geometry.row_bits
+        )
+        return {
+            "subarray_pair_same_index": same_index,
+            "column_x_subarray": col_sub,
+            "column_pair_same_bit": col_col,
+            "total": same_index + col_sub + col_col,
+        }
+
+    def citadel_window_estimate(self) -> float:
+        """Order-of-magnitude estimate of Citadel's failure probability.
+
+        With DDS, permanent faults are spared at the next scrub, so the
+        dominant mode needs the colliding pair to arrive within one
+        scrub interval: multiply the 3DP estimate by ~2 * interval /
+        lifetime (either fault may arrive first).
+        """
+        base = self.three_dp_failure_estimate()["total"]
+        from repro.stack.geometry import SCRUB_INTERVAL_HOURS
+
+        window = 2.0 * SCRUB_INTERVAL_HOURS / self.lifetime_hours
+        return base * window
+
+    # ------------------------------------------------------------------ #
+    def raid5_failure_estimate(self) -> float:
+        """RAID-5: any two permanent faults in different banks whose row
+        strips intersect."""
+        lam = {k: self.expected_permanent(k) for k in self.rates.die_fit}
+        lam_small = (
+            lam[FaultKind.BIT] + lam[FaultKind.WORD] + lam[FaultKind.ROW]
+        )
+        lam_sub = lam[FaultKind.BANK]
+        lam_col = lam[FaultKind.COLUMN]
+        subarrays = self.geometry.subarrays_per_bank
+        total = 0.0
+        # subarray x small fault: rows intersect with P ~ 1/subarrays.
+        total += lam_sub * lam_small / subarrays
+        # subarray x subarray, same index window.
+        total += (lam_sub**2 / 2.0) / subarrays
+        # column (all rows) x anything in another bank always intersects.
+        total += lam_col * (lam_small + lam_sub + lam_col / 2.0)
+        # row-strip collisions among small faults are ~1/rows: negligible.
+        return total

@@ -1,0 +1,135 @@
+"""Correction-frequency and availability arithmetic (§VI fn.3, §VII).
+
+The paper's 3DP correction reads the whole memory and takes ~700 ms.
+That is harmless when invoked "once every few months" for transient
+faults — but a *permanent* fault re-triggers correction on every access
+to its footprint, which is §VII's motivation for DDS: "the correction
+scheme will be invoked frequently and cause unacceptable performance
+degradation".
+
+This module quantifies that argument:
+
+* how often correction fires over a lifetime, per scheme configuration;
+* the throughput cost of leaving a permanent fault unspared, given an
+  access rate and the fraction of traffic that lands in the faulty
+  region;
+* the resulting effective availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.faults.rates import FailureRates
+from repro.faults.types import FaultKind, Permanence
+from repro.stack.geometry import (
+    LIFETIME_HOURS,
+    SCRUB_INTERVAL_HOURS,
+    StackGeometry,
+)
+
+#: Whole-memory 3DP correction time (§VI footnote 3).
+CORRECTION_SECONDS = 0.7
+
+
+@dataclass(frozen=True)
+class AvailabilityModel:
+    geometry: StackGeometry
+    rates: FailureRates
+    correction_seconds: float = CORRECTION_SECONDS
+    lifetime_hours: float = LIFETIME_HOURS
+    scrub_interval_hours: float = SCRUB_INTERVAL_HOURS
+
+    def __post_init__(self) -> None:
+        if self.correction_seconds <= 0:
+            raise ConfigurationError("correction_seconds must be positive")
+
+    # ------------------------------------------------------------------ #
+    def _lambda(self, permanence: Permanence) -> float:
+        num_dies = (
+            self.geometry.total_dies
+            if self.rates.include_metadata_die
+            else self.geometry.data_dies
+        )
+        total_fit = sum(
+            self.rates.rate(kind, permanence) for kind in self.rates.die_fit
+        )
+        return total_fit * num_dies * 1e-9 * self.lifetime_hours
+
+    def corrections_per_lifetime_with_dds(self) -> float:
+        """Each fault is detected, corrected once, and spared: one
+        whole-memory correction per fault event."""
+        return self._lambda(Permanence.TRANSIENT) + self._lambda(
+            Permanence.PERMANENT
+        )
+
+    def mean_time_between_corrections_years(self) -> float:
+        events = self.corrections_per_lifetime_with_dds()
+        if events == 0:
+            return float("inf")
+        return (self.lifetime_hours / 8760.0) / events
+
+    def correction_downtime_fraction_with_dds(self) -> float:
+        seconds = self.corrections_per_lifetime_with_dds() * self.correction_seconds
+        return seconds / (self.lifetime_hours * 3600.0)
+
+    # ------------------------------------------------------------------ #
+    def faulty_fraction_without_sparing(self) -> float:
+        """Expected fraction of memory resident in unspared permanent-fault
+        footprints at end of life (faults accumulate for T/2 on average)."""
+        g = self.geometry
+        total_bits = g.data_bytes * 8
+        expected_bad_bits = 0.0
+        for kind in self.rates.die_fit:
+            lam = (
+                self.rates.rate(kind, Permanence.PERMANENT)
+                * g.data_dies
+                * 1e-9
+                * self.lifetime_hours
+            )
+            expected_bad_bits += lam * self._footprint_bits(kind) / 2.0
+        return min(1.0, expected_bad_bits / total_bits)
+
+    def _footprint_bits(self, kind: FaultKind) -> float:
+        g = self.geometry
+        if kind is FaultKind.BIT:
+            return 1.0
+        if kind is FaultKind.WORD:
+            return 32.0
+        if kind is FaultKind.ROW:
+            return float(g.row_bits)
+        if kind is FaultKind.COLUMN:
+            return float(g.rows_per_bank)
+        if kind is FaultKind.SUBARRAY:
+            return float(g.rows_per_subarray * g.row_bits)
+        if kind is FaultKind.BANK:
+            # Table I's bank rate: subarray-sized events in the
+            # transposed model, full banks in the 'full' ablation.
+            if self.rates.bank_fault_granularity == "subarray":
+                return float(g.rows_per_subarray * g.row_bits)
+            return float(g.rows_per_bank * g.row_bits)
+        raise ConfigurationError(f"unsupported kind: {kind}")
+
+    def unspared_slowdown(
+        self,
+        accesses_per_second: float,
+        faulty_fraction: float = None,  # type: ignore[assignment]
+    ) -> float:
+        """Throughput multiplier when corrections fire on every access to
+        an unspared faulty region.
+
+        Each such access costs ``correction_seconds`` of whole-memory
+        reconstruction; even a single unspared subarray (1/512 of the
+        stack) at a modest 1M accesses/s makes the system ~1000x slower —
+        the quantitative version of §VII's "unacceptable performance
+        degradation".
+        """
+        if accesses_per_second < 0:
+            raise ConfigurationError("accesses_per_second must be >= 0")
+        if faulty_fraction is None:
+            faulty_fraction = self.faulty_fraction_without_sparing()
+        if not 0.0 <= faulty_fraction <= 1.0:
+            raise ConfigurationError("faulty_fraction must be in [0, 1]")
+        correction_rate = accesses_per_second * faulty_fraction
+        return 1.0 + correction_rate * self.correction_seconds

@@ -1,0 +1,224 @@
+"""FaultSim-like Monte-Carlo lifetime reliability engine (§III-B).
+
+Each trial simulates one stack over a 7-year lifetime:
+
+1. fault arrivals are sampled from the Poisson process defined by the FIT
+   tables (:class:`~repro.faults.injector.FaultInjector`);
+2. TSV faults are filtered through TSV-Swap (if enabled), which absorbs up
+   to ``standby_tsvs`` per channel without data loss;
+3. faults are applied in arrival order; after every arrival the correction
+   model is asked whether the live fault set is uncorrectable — if so the
+   trial records a system failure (uncorrectable fault within lifetime,
+   the paper's failure criterion);
+4. every 12 hours a scrub pass removes all (correctable) transient faults
+   and, when DDS is enabled, spares permanent faults at row or bank
+   granularity, removing them from the live set.
+
+Rare-failure acceleration: when the scheme cannot fail with fewer than
+``k`` simultaneous faults, trials are sampled conditioned on at least
+``k`` faults per lifetime and weighted by ``P(N >= k)``
+(:meth:`FaultInjector.sample_lifetime`), keeping the estimator unbiased
+while spending no time on empty lifetimes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.dds import DDSController
+from repro.core.tsv_swap import apply_tsv_swap
+from repro.ecc.base import CorrectionModel
+from repro.faults.injector import FaultInjector
+from repro.faults.rates import FailureRates
+from repro.faults.types import Fault
+from repro.reliability.results import ReliabilityResult, SparingStats
+from repro.stack.geometry import (
+    LIFETIME_HOURS,
+    SCRUB_INTERVAL_HOURS,
+    StackGeometry,
+)
+
+
+@dataclass
+class EngineConfig:
+    """Mitigations layered around the correction model."""
+
+    tsv_swap_standby: Optional[int] = None  # None disables TSV-Swap
+    use_dds: bool = False
+    spare_rows_per_bank: int = 4
+    spare_banks: int = 2
+    scrub_interval_hours: float = SCRUB_INTERVAL_HOURS
+    lifetime_hours: float = LIFETIME_HOURS
+    collect_sparing_stats: bool = False
+    #: Record, for each failing trial, the combination of live fault
+    #: kinds at the moment of failure (e.g. "column+subarray").
+    collect_failure_modes: bool = False
+
+
+class LifetimeSimulator:
+    """Monte-Carlo simulator for one (scheme, mitigation, rates) tuple."""
+
+    def __init__(
+        self,
+        geometry: StackGeometry,
+        rates: FailureRates,
+        model: CorrectionModel,
+        config: Optional[EngineConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.rates = rates
+        self.model = model
+        self.config = config if config is not None else EngineConfig()
+        self.rng = rng if rng is not None else random.Random()
+        self.injector = FaultInjector(geometry, rates, self.rng)
+
+    # ------------------------------------------------------------------ #
+    def default_min_faults(self) -> int:
+        """Smallest fault count that can defeat the configured scheme."""
+        tsv_possible = (
+            self.rates.tsv_device_fit > 0 and self.config.tsv_swap_standby is None
+        )
+        try:
+            return self.model.min_faults_to_fail(tsv_possible)
+        except TypeError:
+            return self.model.min_faults_to_fail()
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        trials: int,
+        min_faults: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> ReliabilityResult:
+        """Run ``trials`` lifetimes and aggregate the failure statistics."""
+        strata_min = self.default_min_faults() if min_faults is None else min_faults
+        stats = SparingStats() if self.config.collect_sparing_stats else None
+        failures = 0
+        weight = self.injector.prob_at_least(
+            strata_min, self.config.lifetime_hours
+        ) if strata_min > 0 else 1.0
+        failure_times: List[float] = []
+        modes: Counter = Counter()
+        for _ in range(trials):
+            outcome = self._run_trial(strata_min, stats)
+            if outcome is not None:
+                failed_at, mode = outcome
+                failures += 1
+                failure_times.append(failed_at)
+                if mode is not None:
+                    modes[mode] += 1
+        return ReliabilityResult(
+            scheme_name=label if label is not None else self._label(),
+            trials=trials,
+            failures=failures,
+            stratum_weight=weight,
+            lifetime_hours=self.config.lifetime_hours,
+            min_faults=strata_min,
+            sparing=stats,
+            failure_times_hours=failure_times,
+            failure_modes=modes,
+        )
+
+    def _label(self) -> str:
+        parts = [self.model.name]
+        if self.config.tsv_swap_standby is not None:
+            parts.append("TSV-Swap")
+        if self.config.use_dds:
+            parts.append("DDS")
+        return " + ".join(parts)
+
+    # ------------------------------------------------------------------ #
+    def _run_trial(
+        self, min_faults: int, stats: Optional[SparingStats]
+    ) -> Optional[Tuple[float, Optional[str]]]:
+        """One lifetime; returns (failure time, failure mode) or None."""
+        config = self.config
+        faults, _ = self.injector.sample_lifetime(
+            config.lifetime_hours, min_faults=min_faults
+        )
+        if config.tsv_swap_standby is not None:
+            faults, _ = apply_tsv_swap(
+                faults, self.geometry, config.tsv_swap_standby
+            )
+        dds = (
+            DDSController(
+                self.geometry,
+                spare_rows_per_bank=config.spare_rows_per_bank,
+                spare_banks=config.spare_banks,
+            )
+            if config.use_dds
+            else None
+        )
+        live: List[Fault] = []
+        outcome: Optional[Tuple[float, Optional[str]]] = None
+        next_scrub = config.scrub_interval_hours
+        interval = config.scrub_interval_hours
+        for fault in faults:
+            if next_scrub <= fault.time_hours:
+                # Scrubbing with no intervening fault is idempotent, so the
+                # scrub passes between two events collapse into one.
+                live = self._scrub(live, dds)
+                next_scrub = (fault.time_hours // interval + 1) * interval
+            live.append(fault)
+            if self.model.is_uncorrectable(live):
+                mode = (
+                    self._failure_mode(live)
+                    if config.collect_failure_modes
+                    else None
+                )
+                outcome = (fault.time_hours, mode)
+                break
+        if stats is not None:
+            self._collect_sparing_stats(faults, stats)
+        return outcome
+
+    @staticmethod
+    def _failure_mode(live: Sequence[Fault]) -> str:
+        """Canonical label for the live fault combination at failure."""
+        return "+".join(sorted(f.kind.value for f in live))
+
+    def _scrub(
+        self, live: Sequence[Fault], dds: Optional[DDSController]
+    ) -> List[Fault]:
+        """Scrub pass: drop transients, spare permanents via DDS."""
+        permanent = [f for f in live if f.is_permanent]
+        if dds is None:
+            return permanent
+        still_live, _ = dds.process_scrub(permanent)
+        return still_live
+
+    # ------------------------------------------------------------------ #
+    def _collect_sparing_stats(
+        self, faults: Sequence[Fault], stats: SparingStats
+    ) -> None:
+        """Per-bank sparing demand of the trial's permanent faults
+        (feeds the Figure 17 histogram and Table III)."""
+        from repro.core.dds import rows_required
+
+        per_bank: dict = {}
+        for fault in faults:
+            if not fault.is_permanent or fault.kind.is_tsv:
+                continue
+            fp = fault.footprint
+            if all(self.geometry.is_metadata_die(d) for d in fp.dies):
+                continue
+            for die in fp.dies:
+                for bank in fp.banks:
+                    key = (die, bank)
+                    per_bank[key] = per_bank.get(key, 0) + rows_required(
+                        self.geometry, fault
+                    )
+        if not per_bank:
+            return
+        stats.rows_per_faulty_bank.extend(per_bank.values())
+        failed = sum(
+            1
+            for rows in per_bank.values()
+            if rows > self.config.spare_rows_per_bank
+        )
+        if failed:
+            stats.failed_banks_per_trial.append(failed)

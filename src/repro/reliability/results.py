@@ -1,0 +1,92 @@
+"""Statistics for Monte-Carlo reliability experiments."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SparingStats:
+    """Aggregates used by the Figure 17 / Table III benches."""
+
+    #: rows_required samples, one per (trial, faulty bank).
+    rows_per_faulty_bank: List[int] = field(default_factory=list)
+    #: number of failed banks (> spare-row budget) per trial that had >= 1.
+    failed_banks_per_trial: List[int] = field(default_factory=list)
+
+    def rows_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for rows in self.rows_per_faulty_bank:
+            hist[rows] = hist.get(rows, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def failed_bank_distribution(self) -> Dict[str, float]:
+        """P(#failed banks = 1 / 2 / 3+), conditioned on >= 1 (Table III)."""
+        total = len(self.failed_banks_per_trial)
+        if not total:
+            return {"1": 0.0, "2": 0.0, "3+": 0.0}
+        ones = sum(1 for n in self.failed_banks_per_trial if n == 1)
+        twos = sum(1 for n in self.failed_banks_per_trial if n == 2)
+        more = total - ones - twos
+        return {"1": ones / total, "2": twos / total, "3+": more / total}
+
+
+@dataclass
+class ReliabilityResult:
+    """Outcome of one Monte-Carlo reliability run."""
+
+    scheme_name: str
+    trials: int
+    failures: int
+    #: Importance weight of the sampled stratum (1.0 when unconditioned).
+    stratum_weight: float = 1.0
+    lifetime_hours: float = 0.0
+    min_faults: int = 0
+    sparing: Optional[SparingStats] = None
+    failure_times_hours: List[float] = field(default_factory=list)
+    #: Failure-mode attribution: "kind+kind" -> count (when collected).
+    failure_modes: Counter = field(default_factory=Counter)
+
+    @property
+    def failure_probability(self) -> float:
+        """Unbiased estimate of the per-lifetime system failure probability."""
+        if not self.trials:
+            return float("nan")
+        return self.stratum_weight * self.failures / self.trials
+
+    @property
+    def std_error(self) -> float:
+        if not self.trials:
+            return float("nan")
+        p_cond = self.failures / self.trials
+        return self.stratum_weight * math.sqrt(
+            max(p_cond * (1.0 - p_cond), 1.0 / self.trials**2) / self.trials
+        )
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        p, se = self.failure_probability, self.std_error
+        return (max(0.0, p - z * se), min(self.stratum_weight, p + z * se))
+
+    def improvement_over(self, other: "ReliabilityResult") -> float:
+        """How many times more reliable this scheme is than ``other``."""
+        mine = self.failure_probability
+        theirs = other.failure_probability
+        if mine <= 0:
+            return float("inf")
+        return theirs / mine
+
+    def top_failure_modes(self, n: int = 5) -> List[Tuple[str, int]]:
+        """Most common live-fault-kind combinations at failure time."""
+        return self.failure_modes.most_common(n)
+
+    def summary(self) -> str:
+        p = self.failure_probability
+        lo, hi = self.confidence_interval()
+        return (
+            f"{self.scheme_name}: P(fail) = {p:.3e} "
+            f"[{lo:.3e}, {hi:.3e}] ({self.failures}/{self.trials} trials, "
+            f"stratum weight {self.stratum_weight:.3e})"
+        )

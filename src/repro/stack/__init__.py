@@ -1,0 +1,9 @@
+"""Stacked-memory substrate: geometry, addressing, data striping, TSVs."""
+
+from repro.stack.geometry import (
+    LIFETIME_HOURS,
+    SCRUB_INTERVAL_HOURS,
+    StackGeometry,
+)
+
+__all__ = ["StackGeometry", "LIFETIME_HOURS", "SCRUB_INTERVAL_HOURS"]

@@ -1,0 +1,26 @@
+"""Synthetic workload substrate: SPEC/PARSEC/BioBench-like trace
+generation (see DESIGN.md §4.5 for the substitution rationale)."""
+
+from repro.workloads.generator import TraceGenerator, rate_mode_traces
+from repro.workloads.profiles import (
+    PROFILES,
+    SUITES,
+    WorkloadProfile,
+    by_suite,
+    memory_intensive,
+    suite_of,
+)
+from repro.workloads.trace import MemoryRequest, Trace
+
+__all__ = [
+    "TraceGenerator",
+    "rate_mode_traces",
+    "PROFILES",
+    "SUITES",
+    "WorkloadProfile",
+    "by_suite",
+    "memory_intensive",
+    "suite_of",
+    "MemoryRequest",
+    "Trace",
+]

@@ -1,0 +1,48 @@
+"""Memory-trace representation for the performance simulator.
+
+A trace is a per-core sequence of LLC-miss events: the gap (in memory
+cycles) since the previous event, whether the event is a writeback, and
+the physical home of the cache line under Same-Bank placement (striped
+mappings expand it at service time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.stack.address import LineLocation
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One LLC miss or writeback reaching the memory controller."""
+
+    gap_cycles: int       # memory-clock cycles since the previous request
+    is_write: bool
+    home: LineLocation    # Same-Bank physical location of the line
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A per-core request stream plus bookkeeping for reports."""
+
+    name: str
+    requests: Sequence[MemoryRequest]
+    #: Outstanding misses the generating core can sustain.
+    mlp: int = 4
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[MemoryRequest]:
+        return iter(self.requests)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.is_write for r in self.requests) / len(self.requests)
+
+    def total_gap_cycles(self) -> int:
+        return sum(r.gap_cycles for r in self.requests)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.stack.geometry import StackGeometry
+
+
+@pytest.fixture
+def geometry():
+    """The paper's full baseline geometry (Table II)."""
+    return StackGeometry()
+
+
+@pytest.fixture
+def small_geometry():
+    """Scaled-down geometry for functional tests."""
+    return StackGeometry.small()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC17ADE1)

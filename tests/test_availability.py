@@ -1,0 +1,69 @@
+"""Tests for the correction-frequency / availability arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.rates import FailureRates
+from repro.reliability.availability import CORRECTION_SECONDS, AvailabilityModel
+from repro.stack.geometry import StackGeometry
+
+
+@pytest.fixture
+def model():
+    return AvailabilityModel(StackGeometry(), FailureRates.paper_baseline())
+
+
+class TestCorrectionFrequency:
+    def test_correction_is_rare(self, model):
+        """§VI footnote 3 claims correction fires at most "once every few
+        months"; with Table I rates a single stack sees one event per ~31
+        years, comfortably inside that bound (the paper's phrasing is an
+        upper bound on frequency, presumably fleet-scale)."""
+        mtbc_years = model.mean_time_between_corrections_years()
+        assert mtbc_years > 0.25
+
+    def test_corrections_match_fault_rate(self, model):
+        # 409.11 FIT/die * 9 dies over 7 years ~ 0.226 events.
+        assert model.corrections_per_lifetime_with_dds() == pytest.approx(
+            0.2257, abs=0.01
+        )
+
+    def test_downtime_negligible_with_dds(self, model):
+        """0.7 s a few times per decade: availability ~ 1."""
+        assert model.correction_downtime_fraction_with_dds() < 1e-8
+
+
+class TestUnsparedSlowdown:
+    def test_no_faults_no_slowdown(self, model):
+        assert model.unspared_slowdown(1e6, faulty_fraction=0.0) == 1.0
+
+    def test_single_subarray_is_catastrophic(self, model):
+        """One unspared subarray (1/512 of capacity) at 1M accesses/s."""
+        fraction = 1.0 / 512
+        slowdown = model.unspared_slowdown(1e6, faulty_fraction=fraction)
+        assert slowdown > 1000
+
+    def test_expected_faulty_fraction_small_but_fatal(self, model):
+        fraction = model.faulty_fraction_without_sparing()
+        assert 0 < fraction < 1e-3  # a sliver of capacity...
+        # ...yet enough to wreck throughput without DDS.
+        assert model.unspared_slowdown(1e6) > 10
+
+    def test_slowdown_scales_with_access_rate(self, model):
+        low = model.unspared_slowdown(1e3, faulty_fraction=1e-4)
+        high = model.unspared_slowdown(1e6, faulty_fraction=1e-4)
+        assert high > low > 1.0
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.unspared_slowdown(-1.0)
+        with pytest.raises(ConfigurationError):
+            model.unspared_slowdown(1.0, faulty_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            AvailabilityModel(
+                StackGeometry(), FailureRates.paper_baseline(),
+                correction_seconds=0,
+            )
+
+    def test_paper_constant(self):
+        assert CORRECTION_SECONDS == 0.7

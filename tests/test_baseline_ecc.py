@@ -1,0 +1,195 @@
+"""Correctability of the comparator schemes: 6EC7ED BCH, RAID-5, SECDED
+and 2D-ECC (§VIII, Figure 19)."""
+
+import pytest
+
+from repro.ecc.bch import BCHCode
+from repro.ecc.parity2d import TwoDimECC
+from repro.ecc.raid5 import RAID5
+from repro.ecc.secded import SECDED
+from repro.faults.types import (
+    Permanence,
+    make_addr_tsv_fault,
+    make_bank_fault,
+    make_bit_fault,
+    make_column_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+    make_subarray_fault,
+    make_word_fault,
+)
+from repro.stack.geometry import StackGeometry
+
+P = Permanence.PERMANENT
+
+
+@pytest.fixture
+def geom():
+    return StackGeometry()
+
+
+class TestBCH:
+    def test_bit_fault_correctable(self, geom):
+        assert not BCHCode(geom).is_uncorrectable(
+            [make_bit_fault(geom, 0, 0, 0, 0, P)]
+        )
+
+    def test_six_bits_same_line_correctable(self, geom):
+        faults = [make_bit_fault(geom, 0, 0, 0, c, P) for c in range(6)]
+        assert not BCHCode(geom).is_uncorrectable(faults)
+
+    def test_seven_bits_same_line_fatal(self, geom):
+        faults = [make_bit_fault(geom, 0, 0, 0, c, P) for c in range(7)]
+        assert BCHCode(geom).is_uncorrectable(faults)
+
+    def test_seven_bits_different_lines_correctable(self, geom):
+        faults = [
+            make_bit_fault(geom, 0, 0, 0, c * 512, P) for c in range(7)
+        ]
+        assert not BCHCode(geom).is_uncorrectable(faults)
+
+    def test_word_fault_fatal(self, geom):
+        """32 bad bits in one line >> t=6: BCH cannot correct
+        large-granularity faults (§VIII-F)."""
+        assert BCHCode(geom).is_uncorrectable([make_word_fault(geom, 0, 0, 0, 0, P)])
+
+    def test_row_bank_fatal(self, geom):
+        assert BCHCode(geom).is_uncorrectable([make_row_fault(geom, 0, 0, 0, P)])
+        assert BCHCode(geom).is_uncorrectable([make_bank_fault(geom, 0, 0, P)])
+
+    def test_column_fault_correctable(self, geom):
+        # One bad bit per line.
+        assert not BCHCode(geom).is_uncorrectable(
+            [make_column_fault(geom, 0, 0, 0, P)]
+        )
+
+    def test_dtsv_two_bits_per_line_correctable(self, geom):
+        assert not BCHCode(geom, t=6).is_uncorrectable(
+            [make_data_tsv_fault(geom, 0, 0)]
+        )
+
+    def test_t_one_rejects_dtsv(self, geom):
+        assert BCHCode(geom, t=1).is_uncorrectable([make_data_tsv_fault(geom, 0, 0)])
+
+    def test_invalid_t(self, geom):
+        with pytest.raises(ValueError):
+            BCHCode(geom, t=0)
+
+    def test_nested_not_double_counted(self, geom):
+        row = make_row_fault(geom, 0, 0, 5, P)
+        bit = make_bit_fault(geom, 0, 0, 5, 3, P)
+        # row alone is already fatal; the point: covers() path executes.
+        assert BCHCode(geom).is_uncorrectable([row, bit])
+        col = make_column_fault(geom, 0, 0, 3, P)
+        bit2 = make_bit_fault(geom, 0, 0, 9, 3, P)  # inside the column
+        assert not BCHCode(geom).is_uncorrectable([col, bit2])
+
+
+class TestRAID5:
+    def test_single_bank_fault_correctable(self, geom):
+        assert not RAID5(geom).is_uncorrectable([make_bank_fault(geom, 0, 0, P)])
+
+    def test_tsv_fault_fatal(self, geom):
+        assert RAID5(geom).is_uncorrectable([make_data_tsv_fault(geom, 0, 0)])
+        assert RAID5(geom).is_uncorrectable([make_addr_tsv_fault(geom, 0, 0)])
+
+    def test_two_faults_same_stripe_fatal(self, geom):
+        a = make_row_fault(geom, 0, 0, 100, P)
+        b = make_row_fault(geom, 1, 1, 100, P)
+        assert RAID5(geom).is_uncorrectable([a, b])
+
+    def test_two_faults_different_stripes_correctable(self, geom):
+        a = make_row_fault(geom, 0, 0, 100, P)
+        b = make_row_fault(geom, 1, 1, 101, P)
+        assert not RAID5(geom).is_uncorrectable([a, b])
+
+    def test_strip_granularity_ignores_columns(self, geom):
+        """RAID reconstructs whole strips: two faults in one stripe are
+        fatal even at disjoint columns (unlike bit-level parity)."""
+        a = make_bit_fault(geom, 0, 0, 100, 5, P)
+        b = make_bit_fault(geom, 1, 1, 100, 900, P)
+        assert RAID5(geom).is_uncorrectable([a, b])
+
+    def test_same_bank_two_faults_correctable(self, geom):
+        a = make_bit_fault(geom, 0, 0, 100, 5, P)
+        b = make_row_fault(geom, 0, 0, 100, P)
+        assert not RAID5(geom).is_uncorrectable([a, b])
+
+    def test_overhead(self, geom):
+        assert RAID5(geom).storage_overhead_fraction() == pytest.approx(1 / 64)
+
+
+class TestSECDED:
+    def test_bit_fault_correctable(self, geom):
+        assert not SECDED(geom).is_uncorrectable([make_bit_fault(geom, 0, 0, 0, 0, P)])
+
+    def test_column_fault_correctable(self, geom):
+        assert not SECDED(geom).is_uncorrectable(
+            [make_column_fault(geom, 0, 0, 0, P)]
+        )
+
+    def test_word_fault_fatal(self, geom):
+        assert SECDED(geom).is_uncorrectable([make_word_fault(geom, 0, 0, 0, 0, P)])
+
+    def test_row_and_bank_fatal(self, geom):
+        assert SECDED(geom).is_uncorrectable([make_row_fault(geom, 0, 0, 0, P)])
+        assert SECDED(geom).is_uncorrectable([make_bank_fault(geom, 0, 0, P)])
+
+    def test_two_bits_same_word_fatal(self, geom):
+        a = make_bit_fault(geom, 0, 0, 0, 3, P)
+        b = make_bit_fault(geom, 0, 0, 0, 60, P)
+        assert SECDED(geom).is_uncorrectable([a, b])
+
+    def test_two_bits_different_words_correctable(self, geom):
+        a = make_bit_fault(geom, 0, 0, 0, 3, P)
+        b = make_bit_fault(geom, 0, 0, 0, 67, P)
+        assert not SECDED(geom).is_uncorrectable([a, b])
+
+    def test_two_bits_different_rows_correctable(self, geom):
+        a = make_bit_fault(geom, 0, 0, 0, 3, P)
+        b = make_bit_fault(geom, 0, 0, 1, 3, P)
+        assert not SECDED(geom).is_uncorrectable([a, b])
+
+    def test_dtsv_correctable_per_word(self, geom):
+        # Bits k and k+256 fall in different 64-bit words.
+        assert not SECDED(geom).is_uncorrectable([make_data_tsv_fault(geom, 0, 0)])
+
+
+class TestTwoDimECC:
+    def test_small_faults_correctable(self, geom):
+        code = TwoDimECC(geom)
+        for fault in [
+            make_bit_fault(geom, 0, 0, 0, 0, P),
+            make_word_fault(geom, 0, 0, 0, 0, P),
+            make_row_fault(geom, 0, 0, 0, P),
+            make_column_fault(geom, 0, 0, 0, P),
+        ]:
+            assert not code.is_uncorrectable([fault]), fault
+
+    def test_area_faults_fatal(self, geom):
+        """§VIII-E: 2D-ECC only protects small granularity (32x32 cells);
+        subarray and bank failures flood both syndrome dimensions."""
+        assert TwoDimECC(geom).is_uncorrectable(
+            [make_subarray_fault(geom, 0, 0, 0, P)]
+        )
+        assert TwoDimECC(geom).is_uncorrectable([make_bank_fault(geom, 0, 0, P)])
+
+    def test_tsv_fault_fatal(self, geom):
+        assert TwoDimECC(geom).is_uncorrectable([make_data_tsv_fault(geom, 0, 0)])
+
+    def test_two_faults_same_bank_intersecting_fatal(self, geom):
+        a = make_row_fault(geom, 0, 0, 5, P)
+        b = make_bit_fault(geom, 0, 0, 5, 100, P)
+        # The bit is nested in the row: absorbed, still correctable.
+        assert not TwoDimECC(geom).is_uncorrectable([a, b])
+        c = make_row_fault(geom, 0, 0, 6, P)
+        # Two distinct rows share every column group: fatal.
+        assert TwoDimECC(geom).is_uncorrectable([a, c])
+
+    def test_two_faults_different_banks_correctable(self, geom):
+        a = make_row_fault(geom, 0, 0, 5, P)
+        b = make_row_fault(geom, 0, 1, 5, P)
+        assert not TwoDimECC(geom).is_uncorrectable([a, b])
+
+    def test_overhead_is_25_percent(self, geom):
+        assert TwoDimECC(geom).storage_overhead_fraction() == pytest.approx(0.25)

@@ -1,0 +1,94 @@
+"""Tests for the composed Citadel architecture object and the per-line
+metadata layout."""
+
+import pytest
+
+from repro.core.citadel import CitadelConfig
+from repro.core.metadata import (
+    CRC_BITS,
+    METADATA_BITS,
+    SPARE_BITS,
+    SWAP_BITS,
+    LineMetadata,
+)
+from repro.core.parity3dp import ParityND
+from repro.errors import ConfigurationError
+from repro.stack.geometry import StackGeometry
+from repro.stack.striping import StripingPolicy
+
+
+class TestCitadelConfig:
+    def test_defaults_match_paper(self):
+        config = CitadelConfig()
+        assert config.standby_tsvs == 4
+        assert config.parity_dimensions == frozenset({1, 2, 3})
+        assert config.spare_rows_per_bank == 4
+        assert config.spare_banks == 2
+        assert config.scrub_interval_hours == 12.0
+        assert config.striping is StripingPolicy.SAME_BANK
+
+    def test_correction_model_is_3dp(self):
+        model = CitadelConfig().correction_model()
+        assert isinstance(model, ParityND)
+        assert model.dimensions == frozenset({1, 2, 3})
+
+    def test_controllers_constructed_from_config(self):
+        config = CitadelConfig(spare_rows_per_bank=2, spare_banks=1)
+        dds = config.dds_controller()
+        assert dds.spare_rows_per_bank == 2
+        assert dds.spare_banks == 1
+        swap = config.tsv_swap_controller()
+        assert swap.standby_count == 4
+
+    def test_storage_overhead_headline(self):
+        """§VII-E: ~14% DRAM (vs 12.5% ECC DIMM), ~35 KB SRAM."""
+        overhead = CitadelConfig().storage_overhead()
+        assert overhead.metadata_die_fraction == pytest.approx(0.125)
+        assert overhead.parity_bank_fraction == pytest.approx(1 / 64)
+        assert overhead.dram_fraction == pytest.approx(0.1406, abs=1e-3)
+        assert overhead.sram_parity_bytes == 34 * 1024
+        assert 34 * 1024 < overhead.sram_bytes <= 36 * 1024
+
+    def test_overhead_scales_with_geometry(self):
+        small = CitadelConfig(geometry=StackGeometry.small())
+        overhead = small.storage_overhead()
+        assert overhead.metadata_die_fraction == pytest.approx(0.25)
+        assert overhead.parity_bank_fraction == pytest.approx(1 / 16)
+
+    def test_ablation_config(self):
+        config = CitadelConfig(parity_dimensions=frozenset({1}))
+        assert config.correction_model().name == "1DP"
+
+
+class TestLineMetadata:
+    def test_layout_is_64_bits(self):
+        assert METADATA_BITS == 64
+        assert CRC_BITS == 32 and SWAP_BITS == 8 and SPARE_BITS == 24
+
+    def test_pack_unpack_roundtrip(self):
+        meta = LineMetadata(crc32=0xDEADBEEF, swap_data=0xA5, spare_info=0x123456)
+        assert LineMetadata.unpack(meta.pack()) == meta
+
+    def test_pack_is_within_64_bits(self):
+        meta = LineMetadata(
+            crc32=0xFFFFFFFF, swap_data=0xFF, spare_info=0xFFFFFF
+        )
+        assert meta.pack() < (1 << 64)
+
+    def test_fetched_bits_is_40(self):
+        """Figure 6: each transaction fetches 40 bits of metadata."""
+        meta = LineMetadata(crc32=0, swap_data=0)
+        assert meta.fetched_bits() == 40
+
+    def test_field_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            LineMetadata(crc32=1 << 32, swap_data=0)
+        with pytest.raises(ConfigurationError):
+            LineMetadata(crc32=0, swap_data=1 << 8)
+        with pytest.raises(ConfigurationError):
+            LineMetadata(crc32=0, swap_data=0, spare_info=1 << 24)
+        with pytest.raises(ConfigurationError):
+            LineMetadata.unpack(1 << 64)
+
+    def test_zero_roundtrip(self):
+        assert LineMetadata.unpack(0) == LineMetadata(crc32=0, swap_data=0)

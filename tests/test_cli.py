@@ -1,0 +1,83 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import PERF_CONFIGS, SCHEMES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reliability_defaults(self):
+        args = build_parser().parse_args(["reliability"])
+        assert args.scheme == "citadel"
+        assert args.trials == 20000
+        assert args.tsv_fit == 0.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reliability", "--scheme", "nope"])
+
+    def test_perf_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.benchmark == "mcf"
+        assert set(args.configs) == set(PERF_CONFIGS)
+
+
+class TestCommands:
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "14.062%" in out
+        assert "35874" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "BIOBENCH" in out
+        assert out.count("\n") >= 39  # header + 38 benchmarks
+
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in SCHEMES:
+            assert name in out
+
+    def test_reliability_small_run(self, capsys):
+        rc = main([
+            "reliability", "--scheme", "secded", "--trials", "300",
+            "--seed", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P(fail)" in out
+
+    def test_reliability_citadel_wires_mitigations(self, capsys):
+        rc = main([
+            "reliability", "--scheme", "citadel", "--trials", "200",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TSV-Swap" in out and "DDS" in out
+
+    def test_reliability_modes_flag(self, capsys):
+        rc = main([
+            "reliability", "--scheme", "symbol-same-bank",
+            "--trials", "1500", "--modes", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "failure modes" in out
+
+    def test_perf_small_run(self, capsys):
+        rc = main([
+            "perf", "--benchmark", "povray", "--requests", "200",
+            "--configs", "same-bank", "3dp",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "same-bank" in out and "3dp" in out
+        # Same-Bank is the normalization baseline: 1.000x.
+        assert "1.000x" in out

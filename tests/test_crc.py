@@ -1,0 +1,89 @@
+"""Tests for the from-scratch CRC-32 (must match the standard IEEE 802.3
+CRC-32 as implemented by zlib, and detect the fault patterns Citadel
+relies on it for)."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.crc import (
+    check_line,
+    crc32,
+    crc32_bitwise,
+    crc32_with_address,
+)
+
+
+class TestReferenceVectors:
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+    def test_check_value(self):
+        # The canonical CRC-32 check value.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_matches_zlib(self):
+        for data in (b"", b"a", b"hello world", bytes(range(256))):
+            assert crc32(data) == zlib.crc32(data)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100)
+    def test_table_matches_bitwise(self, data):
+        assert crc32(data) == crc32_bitwise(data)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100)
+    def test_matches_zlib_property(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+
+class TestDetection:
+    @given(
+        st.binary(min_size=64, max_size=64),
+        st.integers(0, 511),
+    )
+    @settings(max_examples=100)
+    def test_single_bit_flip_always_detected(self, line, bit):
+        flipped = bytearray(line)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        assert crc32(bytes(flipped)) != crc32(line)
+
+    @given(
+        st.binary(min_size=64, max_size=64),
+        st.integers(0, 510),
+    )
+    @settings(max_examples=50)
+    def test_dtsv_pattern_detected(self, line, bit):
+        """A DTSV fault flips bit k and k+256 of the line; CRC-32 detects
+        every burst shorter than 33 bits and, in practice, these pairs."""
+        flipped = bytearray(line)
+        for b in (bit, (bit + 256) % 512):
+            flipped[b // 8] ^= 1 << (b % 8)
+        assert crc32(bytes(flipped)) != crc32(line)
+
+
+class TestAddressMixing:
+    """TSV-Swap detection: the CRC covers address and data so a wrong-row
+    read (address-TSV fault signature) mismatches (§V-C2)."""
+
+    def test_same_data_different_address_mismatches(self):
+        data = b"\xAA" * 64
+        assert crc32_with_address(data, 0x1000) != crc32_with_address(data, 0x1040)
+
+    def test_check_line_roundtrip(self):
+        data = b"\x5A" * 64
+        stored = crc32_with_address(data, 77)
+        assert check_line(data, 77, stored)
+        assert not check_line(data, 78, stored)
+        assert not check_line(b"\x5B" + data[1:], 77, stored)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            crc32_with_address(b"x", -1)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(0, 2**40))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data, addr):
+        assert check_line(data, addr, crc32_with_address(data, addr))

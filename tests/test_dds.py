@@ -1,0 +1,168 @@
+"""Tests for Dynamic Dual-granularity Sparing (§VII): bimodal demand,
+RRT/BRT budgets, escalation, spare-area degradation."""
+
+import pytest
+
+from repro.core.dds import DDSController, SparingDecision, rows_required
+from repro.errors import ConfigurationError
+from repro.faults.types import (
+    Permanence,
+    make_addr_tsv_fault,
+    make_bank_fault,
+    make_bit_fault,
+    make_column_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+    make_subarray_fault,
+    make_word_fault,
+)
+from repro.stack.geometry import StackGeometry
+
+P = Permanence.PERMANENT
+
+
+@pytest.fixture
+def geom():
+    return StackGeometry()
+
+
+@pytest.fixture
+def dds(geom):
+    return DDSController(geom)
+
+
+class TestRowsRequired:
+    """The sparing-demand function behind Figure 17."""
+
+    def test_small_faults_need_one_row(self, geom):
+        assert rows_required(geom, make_bit_fault(geom, 0, 0, 0, 0, P)) == 1
+        assert rows_required(geom, make_word_fault(geom, 0, 0, 0, 0, P)) == 1
+        assert rows_required(geom, make_row_fault(geom, 0, 0, 0, P)) == 1
+
+    def test_subarray_needs_thousands(self, geom):
+        f = make_subarray_fault(geom, 0, 0, 0, P)
+        assert rows_required(geom, f) == geom.rows_per_subarray
+
+    def test_column_needs_whole_bank(self, geom):
+        f = make_column_fault(geom, 0, 0, 0, P)
+        assert rows_required(geom, f) == geom.rows_per_bank
+
+    def test_bank_needs_whole_bank(self, geom):
+        f = make_bank_fault(geom, 0, 0, P)
+        assert rows_required(geom, f) == geom.rows_per_bank
+
+
+class TestRowSparing:
+    def test_small_fault_row_spared(self, geom, dds):
+        fault = make_row_fault(geom, 0, 0, 100, P)
+        live, report = dds.process_scrub([fault])
+        assert live == []
+        assert report.row_spared == [fault]
+
+    def test_four_rows_per_bank_limit(self, geom, dds):
+        faults = [make_row_fault(geom, 0, 0, r, P) for r in range(4)]
+        live, report = dds.process_scrub(faults)
+        assert live == []
+        assert len(report.row_spared) == 4
+        # The fifth row fault escalates to bank sparing (§VII-C3).
+        fifth = make_row_fault(geom, 0, 0, 4, P)
+        live, report = dds.process_scrub([fifth])
+        assert live == []
+        assert report.bank_spared == [fifth]
+
+    def test_other_banks_have_own_budget(self, geom, dds):
+        for bank in range(8):
+            faults = [make_row_fault(geom, 0, bank, r, P) for r in range(4)]
+            live, report = dds.process_scrub(faults)
+            assert live == [] and len(report.row_spared) == 4
+
+
+class TestBankSparing:
+    def test_large_fault_bank_spared(self, geom, dds):
+        fault = make_subarray_fault(geom, 0, 0, 0, P)
+        live, report = dds.process_scrub([fault])
+        assert live == []
+        assert report.bank_spared == [fault]
+        assert dds.brt_slots_free == 1
+
+    def test_two_spare_banks_only(self, geom, dds):
+        a = make_bank_fault(geom, 0, 0, P)
+        b = make_bank_fault(geom, 1, 1, P)
+        c = make_bank_fault(geom, 2, 2, P)
+        live, report = dds.process_scrub([a, b, c])
+        assert report.bank_spared == [a, b]
+        assert report.not_spared == [c]
+        assert live == [c]
+
+    def test_fault_in_spared_bank_absorbed(self, geom, dds):
+        bank = make_bank_fault(geom, 0, 0, P)
+        dds.process_scrub([bank])
+        later = make_bit_fault(geom, 0, 0, 5, 5, P)
+        live, report = dds.process_scrub([later])
+        assert live == []
+        assert report.bank_spared == [later]
+        assert dds.brt_slots_free == 1  # no extra slot burned
+
+    def test_tsv_fault_cannot_be_spared(self, geom, dds):
+        fault = make_data_tsv_fault(geom, 0, 3)
+        live, report = dds.process_scrub([fault])
+        assert live == [fault]
+        assert report.not_spared == [fault]
+
+
+class TestSpareAreaFaults:
+    def test_metadata_crc_bank_fault_no_effect(self, geom, dds):
+        # Banks 0-4 of the metadata die hold CRC/TSV metadata.
+        fault = make_bank_fault(geom, geom.metadata_die, 0, P)
+        live, report = dds.process_scrub([fault])
+        assert live == []
+        assert not report.not_spared
+
+    def test_coarse_spare_bank_fault_kills_slot(self, geom, dds):
+        spare_bank = dds.coarse_spare_banks[0]
+        fault = make_bank_fault(geom, geom.metadata_die, spare_bank, P)
+        dds.process_scrub([fault])
+        assert dds.brt_slots_free == 1
+
+    def test_coarse_spare_fault_re_exposes_owner(self, geom, dds):
+        victim = make_bank_fault(geom, 0, 0, P)
+        dds.process_scrub([victim])
+        spare_bank = dds.coarse_spare_banks[0]
+        killer = make_bank_fault(geom, geom.metadata_die, spare_bank, P)
+        live, report = dds.process_scrub([killer])
+        assert victim in report.re_exposed
+        assert victim in live
+
+    def test_fine_spare_fault_disables_row_sparing(self, geom, dds):
+        spared = make_row_fault(geom, 0, 0, 1, P)
+        dds.process_scrub([spared])
+        killer = make_bank_fault(geom, geom.metadata_die, dds.fine_spare_bank, P)
+        live, report = dds.process_scrub([killer])
+        assert spared in report.re_exposed
+        # New small faults now escalate to bank sparing.
+        new = make_row_fault(geom, 1, 1, 1, P)
+        live, report = dds.process_scrub([new])
+        assert report.bank_spared and new in report.bank_spared
+
+
+class TestConfiguration:
+    def test_rejects_negative_budgets(self, geom):
+        with pytest.raises(ConfigurationError):
+            DDSController(geom, spare_rows_per_bank=-1)
+        with pytest.raises(ConfigurationError):
+            DDSController(geom, spare_banks=-1)
+
+    def test_rrt_overhead_about_1kb(self, geom, dds):
+        """§VII-C2: 33 bits x 4 entries x 64 banks ~ 1 KB."""
+        assert 1000 <= dds.rrt_overhead_bytes <= 1100
+
+    def test_spare_area_layout(self, geom, dds):
+        """§VII-C1: metadata banks 5,6 coarse + bank 7 fine."""
+        assert dds.coarse_spare_banks == [5, 6]
+        assert dds.fine_spare_bank == 7
+
+    def test_zero_spare_banks(self, geom):
+        dds = DDSController(geom, spare_banks=0)
+        fault = make_bank_fault(geom, 0, 0, P)
+        live, report = dds.process_scrub([fault])
+        assert live == [fault]

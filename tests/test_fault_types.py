@@ -1,0 +1,182 @@
+"""Unit tests for fault constructors: each fault kind must produce exactly
+the footprint shape the paper describes (Figure 2, §V-B)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.types import (
+    Fault,
+    FaultKind,
+    Permanence,
+    make_addr_tsv_fault,
+    make_bank_fault,
+    make_bit_fault,
+    make_column_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+    make_subarray_fault,
+    make_word_fault,
+)
+from repro.stack.geometry import StackGeometry
+
+
+@pytest.fixture
+def geom():
+    return StackGeometry()
+
+
+class TestDRAMFaultShapes:
+    def test_bit_fault_is_one_bit(self, geom):
+        f = make_bit_fault(geom, 2, 3, 100, 511, Permanence.TRANSIENT)
+        assert f.kind is FaultKind.BIT
+        assert f.footprint.total_bits() == 1
+        assert f.footprint.contains(2, 3, 100, 511)
+
+    def test_word_fault_is_32_adjacent_bits(self, geom):
+        f = make_word_fault(geom, 0, 0, 5, 3, Permanence.PERMANENT)
+        assert f.footprint.total_bits() == 32
+        assert f.footprint.contains(0, 0, 5, 96)
+        assert f.footprint.contains(0, 0, 5, 127)
+        assert not f.footprint.contains(0, 0, 5, 128)
+        assert not f.footprint.contains(0, 0, 6, 96)
+
+    def test_row_fault_covers_whole_row(self, geom):
+        f = make_row_fault(geom, 1, 2, 333, Permanence.PERMANENT)
+        assert f.footprint.num_rows == 1
+        assert f.footprint.num_cols == geom.row_bits
+        assert f.footprint.total_bits() == geom.row_bits
+
+    def test_column_fault_covers_every_row_of_bank(self, geom):
+        f = make_column_fault(geom, 1, 2, 77, Permanence.PERMANENT)
+        assert f.kind is FaultKind.COLUMN
+        assert f.footprint.num_rows == geom.rows_per_bank
+        assert f.footprint.num_cols == 1
+        assert f.footprint.contains(1, 2, 0, 77)
+        assert f.footprint.contains(1, 2, geom.rows_per_bank - 1, 77)
+
+    def test_subarray_fault_covers_one_subarray(self, geom):
+        f = make_subarray_fault(geom, 0, 0, 3, Permanence.PERMANENT)
+        assert f.kind is FaultKind.SUBARRAY
+        assert f.footprint.num_rows == geom.rows_per_subarray
+        assert f.footprint.num_cols == geom.row_bits
+        start = 3 * geom.rows_per_subarray
+        assert f.footprint.contains(0, 0, start, 0)
+        assert f.footprint.contains(0, 0, start + geom.rows_per_subarray - 1, 0)
+        assert not f.footprint.contains(0, 0, start - 1, 0)
+
+    def test_subarray_fault_validates_index(self, geom):
+        with pytest.raises(ConfigurationError):
+            make_subarray_fault(geom, 0, 0, geom.subarrays_per_bank,
+                                Permanence.PERMANENT)
+
+    def test_bank_fault_covers_whole_bank(self, geom):
+        f = make_bank_fault(geom, 7, 7, Permanence.PERMANENT)
+        assert f.footprint.num_rows == geom.rows_per_bank
+        assert f.footprint.num_cols == geom.row_bits
+        assert f.footprint.num_bank_instances == 1
+
+    def test_faults_stay_within_one_bank(self, geom):
+        for f in [
+            make_bit_fault(geom, 0, 0, 0, 0, Permanence.TRANSIENT),
+            make_row_fault(geom, 0, 0, 0, Permanence.TRANSIENT),
+            make_column_fault(geom, 0, 0, 0, Permanence.TRANSIENT),
+            make_subarray_fault(geom, 0, 0, 0, Permanence.TRANSIENT),
+            make_bank_fault(geom, 0, 0, Permanence.TRANSIENT),
+        ]:
+            assert not f.footprint.spans_multiple_banks()
+
+
+class TestDataTSVFault:
+    """§V-B: DTSV-k corrupts bits k and k+256 of every cache line, in all
+    banks of the die (burst length 2)."""
+
+    def test_multi_bank(self, geom):
+        f = make_data_tsv_fault(geom, 3, 1)
+        assert f.kind is FaultKind.DATA_TSV
+        assert f.footprint.dies == frozenset([3])
+        assert f.footprint.banks == frozenset(range(8))
+        assert f.footprint.spans_multiple_banks()
+
+    def test_dtsv1_hits_bits_1_and_257_of_every_line(self, geom):
+        f = make_data_tsv_fault(geom, 0, 1)
+        for line in range(geom.lines_per_row):
+            base = line * geom.line_bits
+            assert f.footprint.contains(0, 0, 0, base + 1)
+            assert f.footprint.contains(0, 0, 0, base + 257)
+            assert not f.footprint.contains(0, 0, 0, base + 0)
+            assert not f.footprint.contains(0, 0, 0, base + 2)
+            assert not f.footprint.contains(0, 0, 0, base + 256)
+
+    def test_two_bits_per_line(self, geom):
+        f = make_data_tsv_fault(geom, 0, 100)
+        # 2 bits per 512-bit line * 32 lines per row = 64 bits per row.
+        assert f.footprint.num_cols == 64
+
+    def test_covers_all_rows(self, geom):
+        f = make_data_tsv_fault(geom, 0, 0)
+        assert f.footprint.num_rows == geom.rows_per_bank
+
+    def test_validates_channel_and_index(self, geom):
+        with pytest.raises(ConfigurationError):
+            make_data_tsv_fault(geom, 8, 0)
+        with pytest.raises(ConfigurationError):
+            make_data_tsv_fault(geom, 0, 256)
+
+    def test_carries_channel_and_index(self, geom):
+        f = make_data_tsv_fault(geom, 5, 42)
+        assert f.channel == 5
+        assert f.tsv_index == 42
+
+
+class TestAddrTSVFault:
+    """§V-B: a faulty ATSV makes half of the rows unreachable."""
+
+    def test_half_the_rows(self, geom):
+        f = make_addr_tsv_fault(geom, 0, 0, stuck_value=0)
+        assert f.footprint.num_rows == geom.rows_per_bank // 2
+
+    def test_unreachable_half_has_inverse_bit(self, geom):
+        f = make_addr_tsv_fault(geom, 0, 3, stuck_value=0)
+        # Stuck at 0: rows with bit 3 == 1 are unreachable.
+        assert 0b1000 in f.footprint.rows
+        assert 0b0000 not in f.footprint.rows
+
+    def test_covers_all_banks_and_cols(self, geom):
+        f = make_addr_tsv_fault(geom, 2, 5)
+        assert f.footprint.banks == frozenset(range(8))
+        assert f.footprint.num_cols == geom.row_bits
+
+    def test_validates_index(self, geom):
+        with pytest.raises(ConfigurationError):
+            make_addr_tsv_fault(geom, 0, 24)
+
+    def test_high_atsv_indices_map_onto_row_bits(self, geom):
+        # ATSVs 16..23 address bank/column bits; the model folds them onto
+        # row bits, preserving the half-memory blast radius.
+        f = make_addr_tsv_fault(geom, 0, 20)
+        assert f.footprint.num_rows == geom.rows_per_bank // 2
+
+
+class TestFaultObject:
+    def test_at_time_returns_copy(self, geom):
+        f = make_bit_fault(geom, 0, 0, 0, 0, Permanence.TRANSIENT)
+        g = f.at_time(55.0)
+        assert g.time_hours == 55.0
+        assert f.time_hours == 0.0
+        assert g.footprint == f.footprint
+
+    def test_permanence_flags(self, geom):
+        t = make_bit_fault(geom, 0, 0, 0, 0, Permanence.TRANSIENT)
+        p = make_bit_fault(geom, 0, 0, 0, 0, Permanence.PERMANENT)
+        assert t.is_transient and not t.is_permanent
+        assert p.is_permanent and not p.is_transient
+
+    def test_uids_are_unique(self, geom):
+        a = make_bit_fault(geom, 0, 0, 0, 0, Permanence.TRANSIENT)
+        b = make_bit_fault(geom, 0, 0, 0, 0, Permanence.TRANSIENT)
+        assert a.uid != b.uid
+
+    def test_tsv_kind_flags(self, geom):
+        assert make_data_tsv_fault(geom, 0, 0).kind.is_tsv
+        assert make_addr_tsv_fault(geom, 0, 0).kind.is_tsv
+        assert not make_bit_fault(geom, 0, 0, 0, 0, Permanence.TRANSIENT).kind.is_tsv

@@ -1,0 +1,203 @@
+"""Unit + property tests for the address/mask footprint algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults.footprint import Footprint, RangeMask
+from repro.stack.geometry import StackGeometry
+
+WIDTH = 8  # small universe for exhaustive checks
+
+
+def members(rm: RangeMask):
+    return {v for v in range(1 << rm.width) if v in rm}
+
+
+@st.composite
+def range_masks(draw, width=WIDTH):
+    base = draw(st.integers(0, (1 << width) - 1))
+    mask = draw(st.integers(0, (1 << width) - 1))
+    return RangeMask(base=base, mask=mask, width=width)
+
+
+class TestRangeMaskBasics:
+    def test_single(self):
+        rm = RangeMask.single(5, WIDTH)
+        assert members(rm) == {5}
+        assert len(rm) == 1
+        assert rm.is_singleton()
+
+    def test_full(self):
+        rm = RangeMask.full(4)
+        assert len(rm) == 16
+        assert rm.is_full()
+
+    def test_aligned_block(self):
+        rm = RangeMask.aligned_block(8, 4, WIDTH)
+        assert members(rm) == {8, 9, 10, 11}
+
+    def test_aligned_block_rejects_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            RangeMask.aligned_block(6, 4, WIDTH)
+
+    def test_aligned_block_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            RangeMask.aligned_block(0, 3, WIDTH)
+
+    def test_address_bit_selects_half(self):
+        rm = RangeMask.address_bit(2, 1, WIDTH)
+        got = members(rm)
+        assert len(got) == (1 << WIDTH) // 2
+        assert all(v >> 2 & 1 for v in got)
+
+    def test_address_bit_zero_value(self):
+        rm = RangeMask.address_bit(0, 0, 3)
+        assert members(rm) == {0, 2, 4, 6}
+
+    def test_base_canonicalized(self):
+        a = RangeMask(base=0b1111, mask=0b0011, width=4)
+        b = RangeMask(base=0b1100, mask=0b0011, width=4)
+        assert a == b
+
+    def test_rejects_out_of_width(self):
+        with pytest.raises(ConfigurationError):
+            RangeMask(base=256, mask=0, width=8)
+        with pytest.raises(ConfigurationError):
+            RangeMask(base=0, mask=256, width=8)
+
+    def test_iter_values_sorted_small(self):
+        rm = RangeMask(base=0b0001, mask=0b0110, width=4)
+        assert list(rm.iter_values()) == [1, 3, 5, 7]
+
+    def test_iter_values_refuses_huge(self):
+        rm = RangeMask.full(30)
+        with pytest.raises(ConfigurationError):
+            list(rm.iter_values())
+
+
+class TestRangeMaskAlgebra:
+    @given(range_masks(), range_masks())
+    @settings(max_examples=200)
+    def test_intersects_matches_enumeration(self, a, b):
+        assert a.intersects(b) == bool(members(a) & members(b))
+
+    @given(range_masks(), range_masks())
+    @settings(max_examples=200)
+    def test_intersection_is_exact(self, a, b):
+        inter = a.intersection(b)
+        expected = members(a) & members(b)
+        if inter is None:
+            assert not expected
+        else:
+            assert members(inter) == expected
+
+    @given(range_masks(), range_masks())
+    @settings(max_examples=200)
+    def test_covers_matches_enumeration(self, a, b):
+        assert a.covers(b) == (members(b) <= members(a))
+
+    @given(range_masks())
+    @settings(max_examples=50)
+    def test_len_matches_enumeration(self, a):
+        assert len(a) == len(members(a))
+
+    @given(range_masks())
+    @settings(max_examples=50)
+    def test_self_intersection_is_identity(self, a):
+        assert a.intersection(a) == a
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            RangeMask.full(4).intersects(RangeMask.full(5))
+
+    def test_intersection_size(self):
+        a = RangeMask(base=0, mask=0b0011, width=4)
+        b = RangeMask(base=0, mask=0b0110, width=4)
+        assert a.intersection_size(b) == 2  # {0, 2}
+
+    def test_disjoint_intersection_size_zero(self):
+        a = RangeMask.single(1, 4)
+        b = RangeMask.single(2, 4)
+        assert a.intersection_size(b) == 0
+
+
+class TestFootprint:
+    @pytest.fixture
+    def geom(self):
+        return StackGeometry.small()
+
+    def _bit(self, geom, die=0, bank=0, row=3, col=7):
+        return Footprint.build(
+            geom,
+            dies=[die],
+            banks=[bank],
+            rows=RangeMask.single(row, geom.row_address_bits),
+            cols=RangeMask.single(col, geom.col_address_bits),
+        )
+
+    def test_build_validates_coordinates(self, geom):
+        with pytest.raises(Exception):
+            self._bit(geom, die=99)
+        with pytest.raises(Exception):
+            self._bit(geom, bank=99)
+
+    def test_build_validates_mask_widths(self, geom):
+        with pytest.raises(ConfigurationError):
+            Footprint.build(
+                geom,
+                dies=[0],
+                banks=[0],
+                rows=RangeMask.full(3),  # wrong width
+                cols=RangeMask.full(geom.col_address_bits),
+            )
+
+    def test_contains(self, geom):
+        fp = self._bit(geom)
+        assert fp.contains(0, 0, 3, 7)
+        assert not fp.contains(0, 0, 3, 8)
+        assert not fp.contains(1, 0, 3, 7)
+
+    def test_counts(self, geom):
+        fp = Footprint.build(
+            geom,
+            dies=[0, 1],
+            banks=[0],
+            rows=RangeMask.full(geom.row_address_bits),
+            cols=RangeMask.single(0, geom.col_address_bits),
+        )
+        assert fp.num_bank_instances == 2
+        assert fp.num_rows == geom.rows_per_bank
+        assert fp.num_cols == 1
+        assert fp.total_bits() == 2 * geom.rows_per_bank
+
+    def test_overlap_requires_all_axes(self, geom):
+        a = self._bit(geom, die=0, bank=0, row=3, col=7)
+        assert a.overlaps(self._bit(geom, die=0, bank=0, row=3, col=7))
+        assert not a.overlaps(self._bit(geom, die=1, bank=0, row=3, col=7))
+        assert not a.overlaps(self._bit(geom, die=0, bank=1, row=3, col=7))
+        assert not a.overlaps(self._bit(geom, die=0, bank=0, row=4, col=7))
+        assert not a.overlaps(self._bit(geom, die=0, bank=0, row=3, col=8))
+
+    def test_covers_nested(self, geom):
+        bank = Footprint.build(
+            geom,
+            dies=[0],
+            banks=[0],
+            rows=RangeMask.full(geom.row_address_bits),
+            cols=RangeMask.full(geom.col_address_bits),
+        )
+        bit = self._bit(geom, die=0, bank=0)
+        assert bank.covers(bit)
+        assert not bit.covers(bank)
+        assert bank.covers(bank)
+
+    def test_requires_nonempty_dies_and_banks(self, geom):
+        with pytest.raises(ConfigurationError):
+            Footprint(
+                dies=frozenset(),
+                banks=frozenset([0]),
+                rows=RangeMask.full(geom.row_address_bits),
+                cols=RangeMask.full(geom.col_address_bits),
+            )

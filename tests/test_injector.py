@@ -1,0 +1,148 @@
+"""Tests for the Poisson fault injector: arrival statistics, stratified
+sampling weights, and fault placement."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.rates import FailureRates
+from repro.faults.types import FaultKind, Permanence
+from repro.stack.geometry import LIFETIME_HOURS, StackGeometry
+
+
+@pytest.fixture
+def geom():
+    return StackGeometry()
+
+
+def make_injector(geom, seed=1, **rate_kwargs):
+    rates = FailureRates.paper_baseline(**rate_kwargs)
+    return FaultInjector(geom, rates, random.Random(seed))
+
+
+class TestArrivalProcess:
+    def test_expected_faults_matches_fit_arithmetic(self, geom):
+        inj = make_injector(geom)
+        # 409.11 FIT/die * 9 dies * 61320 h * 1e-9
+        expected = 409.11 * 9 * LIFETIME_HOURS * 1e-9
+        assert inj.expected_faults() == pytest.approx(expected, rel=1e-3)
+
+    def test_tsv_fit_adds_to_total(self, geom):
+        base = make_injector(geom).total_rate_per_hour
+        with_tsv = make_injector(geom, tsv_device_fit=1430.0).total_rate_per_hour
+        assert with_tsv - base == pytest.approx(1430.0e-9)
+
+    def test_mean_fault_count_converges(self, geom):
+        inj = make_injector(geom, seed=42)
+        lam = inj.expected_faults()
+        counts = [len(inj.sample_lifetime()[0]) for _ in range(3000)]
+        mean = sum(counts) / len(counts)
+        assert mean == pytest.approx(lam, rel=0.1)
+
+    def test_times_sorted_and_within_lifetime(self, geom):
+        inj = make_injector(geom, seed=3)
+        for _ in range(200):
+            faults, _ = inj.sample_lifetime(min_faults=2)
+            times = [f.time_hours for f in faults]
+            assert times == sorted(times)
+            assert all(0 <= t <= LIFETIME_HOURS for t in times)
+
+    def test_zero_rates_rejected(self, geom):
+        rates = FailureRates(
+            die_fit={FaultKind.BIT: (0.0, 0.0)}, tsv_device_fit=0.0
+        )
+        with pytest.raises(ConfigurationError):
+            FaultInjector(geom, rates)
+
+
+class TestStratifiedSampling:
+    def test_prob_at_least_matches_poisson(self, geom):
+        inj = make_injector(geom)
+        lam = inj.expected_faults()
+        assert inj.prob_at_least(0) == 1.0
+        assert inj.prob_at_least(1) == pytest.approx(1 - math.exp(-lam))
+        p2 = 1 - math.exp(-lam) * (1 + lam)
+        assert inj.prob_at_least(2) == pytest.approx(p2)
+
+    def test_conditioned_sampling_respects_minimum(self, geom):
+        inj = make_injector(geom, seed=5)
+        for m in (1, 2, 3):
+            for _ in range(100):
+                faults, weight = inj.sample_lifetime(min_faults=m)
+                assert len(faults) >= m
+                assert weight == pytest.approx(inj.prob_at_least(m))
+
+    def test_unconditioned_weight_is_one(self, geom):
+        inj = make_injector(geom, seed=6)
+        _, weight = inj.sample_lifetime()
+        assert weight == 1.0
+
+    def test_conditioned_distribution_is_truncated_poisson(self, geom):
+        inj = make_injector(geom, seed=7)
+        lam = inj.expected_faults()
+        counts = [len(inj.sample_lifetime(min_faults=2)[0]) for _ in range(4000)]
+        # E[N | N>=2] = (lam - lam*exp(-lam)) / P(N>=2) ... compute directly:
+        p2 = 1 - math.exp(-lam) * (1 + lam)
+        expected_mean = (lam - lam * math.exp(-lam)) / p2
+        mean = sum(counts) / len(counts)
+        assert mean == pytest.approx(expected_mean, rel=0.05)
+
+
+class TestPlacement:
+    def _sample_many(self, geom, n=4000, **kw):
+        inj = make_injector(geom, seed=11, **kw)
+        faults = []
+        while len(faults) < n:
+            fs, _ = inj.sample_lifetime(min_faults=1)
+            faults.extend(fs)
+        return faults[:n]
+
+    def test_kind_mix_tracks_rates(self, geom):
+        faults = self._sample_many(geom)
+        frac_bit = sum(f.kind is FaultKind.BIT for f in faults) / len(faults)
+        # (113.6 + 148.8) / 409.11 = 0.641
+        assert frac_bit == pytest.approx(0.641, abs=0.04)
+
+    def test_bank_rate_becomes_subarray_faults(self, geom):
+        faults = self._sample_many(geom)
+        kinds = {f.kind for f in faults}
+        assert FaultKind.SUBARRAY in kinds
+        assert FaultKind.BANK not in kinds  # transposed per §II-B
+
+    def test_full_bank_mode(self, geom):
+        faults = self._sample_many(geom, bank_fault_granularity="full")
+        kinds = {f.kind for f in faults}
+        assert FaultKind.BANK in kinds
+        assert FaultKind.SUBARRAY not in kinds
+
+    def test_dies_cover_metadata_die(self, geom):
+        faults = self._sample_many(geom)
+        dies = {d for f in faults for d in f.footprint.dies}
+        assert dies == set(range(9))
+
+    def test_metadata_die_can_be_excluded(self, geom):
+        rates = FailureRates(include_metadata_die=False)
+        inj = FaultInjector(geom, rates, random.Random(2))
+        faults = []
+        while len(faults) < 1000:
+            fs, _ = inj.sample_lifetime(min_faults=1)
+            faults.extend(fs)
+        dies = {d for f in faults for d in f.footprint.dies}
+        assert 8 not in dies
+
+    def test_tsv_faults_present_when_rate_set(self, geom):
+        faults = self._sample_many(geom, tsv_device_fit=100000.0)
+        tsv = [f for f in faults if f.kind.is_tsv]
+        assert tsv
+        # DTSV:ATSV should be roughly 256:24.
+        dtsv = sum(f.kind is FaultKind.DATA_TSV for f in tsv)
+        assert dtsv / len(tsv) == pytest.approx(256 / 280, abs=0.05)
+
+    def test_transient_permanent_mix(self, geom):
+        faults = self._sample_many(geom)
+        transient = sum(f.is_transient for f in faults) / len(faults)
+        # 134.66 transient / 409.11 total
+        assert transient == pytest.approx(134.66 / 409.11, abs=0.04)

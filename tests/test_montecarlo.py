@@ -1,0 +1,154 @@
+"""Integration tests for the Monte-Carlo lifetime reliability engine."""
+
+import random
+
+import pytest
+
+from repro.core.parity3dp import make_1dp, make_3dp
+from repro.ecc.symbol_code import SymbolCode
+from repro.faults.rates import FailureRates
+from repro.faults.types import FaultKind
+from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
+from repro.reliability.results import ReliabilityResult
+from repro.stack.geometry import StackGeometry
+from repro.stack.striping import StripingPolicy
+
+
+@pytest.fixture
+def geom():
+    return StackGeometry()
+
+
+def simulator(geom, model, seed=1, tsv_fit=0.0, **cfg):
+    return LifetimeSimulator(
+        geom,
+        FailureRates.paper_baseline(tsv_device_fit=tsv_fit),
+        model,
+        EngineConfig(**cfg),
+        rng=random.Random(seed),
+    )
+
+
+class TestEngineBasics:
+    def test_result_fields(self, geom):
+        sim = simulator(geom, make_3dp(geom))
+        result = sim.run(trials=50)
+        assert result.trials == 50
+        assert 0 <= result.failures <= 50
+        assert 0 < result.stratum_weight <= 1
+        assert result.min_faults == 2  # 3DP cannot fail with one fault
+
+    def test_deterministic_given_seed(self, geom):
+        a = simulator(geom, make_1dp(geom), seed=9).run(trials=200)
+        b = simulator(geom, make_1dp(geom), seed=9).run(trials=200)
+        assert a.failures == b.failures
+
+    def test_default_min_faults_respects_tsv(self, geom):
+        sb = SymbolCode(geom, StripingPolicy.SAME_BANK)
+        assert simulator(geom, sb).default_min_faults() == 1
+        ac = SymbolCode(geom, StripingPolicy.ACROSS_CHANNELS)
+        assert simulator(geom, ac).default_min_faults() == 2
+        ab = SymbolCode(geom, StripingPolicy.ACROSS_BANKS)
+        assert simulator(geom, ab, tsv_fit=1430.0).default_min_faults() == 1
+        assert simulator(geom, ab, tsv_fit=0.0).default_min_faults() == 2
+        # TSV-Swap makes TSV single-fault kills impossible.
+        assert (
+            simulator(geom, ab, tsv_fit=1430.0, tsv_swap_standby=4)
+            .default_min_faults()
+            == 2
+        )
+
+    def test_label_includes_mitigations(self, geom):
+        sim = simulator(geom, make_3dp(geom), tsv_swap_standby=4, use_dds=True)
+        result = sim.run(trials=5)
+        assert "3DP" in result.scheme_name
+        assert "TSV-Swap" in result.scheme_name
+        assert "DDS" in result.scheme_name
+
+    def test_custom_label(self, geom):
+        result = simulator(geom, make_3dp(geom)).run(trials=5, label="X")
+        assert result.scheme_name == "X"
+
+
+class TestMitigationEffects:
+    def test_scrubbing_removes_transients(self, geom):
+        """With a scrub interval longer than the lifetime, transient faults
+        accumulate; with the paper's 12h interval they are removed — the
+        failure probability must be visibly lower."""
+        slow = simulator(
+            geom, make_1dp(geom), seed=3, scrub_interval_hours=1e9
+        ).run(trials=1500)
+        fast = simulator(
+            geom, make_1dp(geom), seed=3, scrub_interval_hours=12.0
+        ).run(trials=1500)
+        assert fast.failure_probability < slow.failure_probability
+
+    def test_dds_improves_3dp(self, geom):
+        plain = simulator(geom, make_3dp(geom), seed=4).run(trials=1500)
+        with_dds = simulator(geom, make_3dp(geom), seed=4, use_dds=True).run(
+            trials=1500
+        )
+        assert with_dds.failures < plain.failures
+
+    def test_tsv_swap_neutralizes_tsv_faults(self, geom):
+        """Figure 9's claim: with TSV-Swap, resilience at the highest TSV
+        rate matches a system with no TSV faults at all."""
+        sb = SymbolCode(geom, StripingPolicy.SAME_BANK)
+        no_tsv = simulator(geom, sb, seed=5, tsv_fit=0.0).run(trials=800)
+        swapped = simulator(
+            geom, sb, seed=5, tsv_fit=1430.0, tsv_swap_standby=4
+        ).run(trials=800)
+        unswapped = simulator(geom, sb, seed=5, tsv_fit=1430.0).run(trials=800)
+        assert unswapped.failure_probability > no_tsv.failure_probability
+        assert swapped.failure_probability == pytest.approx(
+            no_tsv.failure_probability, rel=0.35
+        )
+
+    def test_sparing_stats_collection(self, geom):
+        sim = simulator(
+            geom, make_3dp(geom), seed=6, use_dds=True, collect_sparing_stats=True
+        )
+        result = sim.run(trials=600, min_faults=1)
+        assert result.sparing is not None
+        hist = result.sparing.rows_histogram()
+        assert hist  # at least some faulty banks observed
+        assert all(rows >= 1 for rows in hist)
+
+
+class TestStratification:
+    def test_stratified_estimate_consistent_with_plain(self, geom):
+        """The weighted (min_faults=1) estimator must agree with plain
+        sampling within Monte-Carlo error."""
+        model = SymbolCode(geom, StripingPolicy.SAME_BANK)
+        plain = simulator(geom, model, seed=7).run(trials=4000, min_faults=0)
+        strat = simulator(geom, model, seed=8).run(trials=4000, min_faults=1)
+        assert strat.failure_probability == pytest.approx(
+            plain.failure_probability, rel=0.25
+        )
+
+    def test_weight_is_tail_probability(self, geom):
+        sim = simulator(geom, make_3dp(geom))
+        result = sim.run(trials=10, min_faults=2)
+        assert result.stratum_weight == pytest.approx(
+            sim.injector.prob_at_least(2), rel=1e-9
+        )
+
+
+class TestResults:
+    def test_failure_probability_and_ci(self):
+        r = ReliabilityResult("x", trials=1000, failures=10, stratum_weight=0.5)
+        assert r.failure_probability == pytest.approx(0.005)
+        lo, hi = r.confidence_interval()
+        assert lo < 0.005 < hi
+
+    def test_improvement_over(self):
+        a = ReliabilityResult("a", trials=100, failures=1, stratum_weight=1.0)
+        b = ReliabilityResult("b", trials=100, failures=10, stratum_weight=1.0)
+        assert a.improvement_over(b) == pytest.approx(10.0)
+        zero = ReliabilityResult("z", trials=100, failures=0, stratum_weight=1.0)
+        assert zero.improvement_over(b) == float("inf")
+
+    def test_summary_format(self):
+        r = ReliabilityResult("scheme", trials=10, failures=1, stratum_weight=1.0)
+        assert "scheme" in r.summary()
+        assert "P(fail)" in r.summary()

@@ -1,0 +1,130 @@
+"""Fast integration tests pinning the paper's key qualitative claims.
+
+These are reduced-trial versions of the benchmark harness: each claim
+must hold direction-and-magnitude-wise at test-suite speeds (the benches
+and scripts/full_reliability_study.py run the full versions).
+"""
+
+import random
+
+import pytest
+
+from repro import EngineConfig, FailureRates, LifetimeSimulator, StackGeometry
+from repro.core.parity3dp import make_1dp, make_3dp
+from repro.ecc import BCHCode, RAID5, SymbolCode
+from repro.perf import PerfConfig, PowerModel, SystemSimulator
+from repro.stack.striping import StripingPolicy
+from repro.workloads import rate_mode_traces
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return StackGeometry()
+
+
+def mc(geom, model, trials=6000, seed=1, tsv_fit=0.0, **cfg):
+    sim = LifetimeSimulator(
+        geom,
+        FailureRates.paper_baseline(tsv_device_fit=tsv_fit),
+        model,
+        EngineConfig(**cfg),
+        rng=random.Random(seed),
+    )
+    return sim.run(trials=trials).failure_probability
+
+
+class TestReliabilityClaims:
+    def test_striping_beats_same_bank(self, geom):
+        """§II-E / Figure 4."""
+        same = mc(geom, SymbolCode(geom, StripingPolicy.SAME_BANK))
+        striped = mc(geom, SymbolCode(geom, StripingPolicy.ACROSS_CHANNELS))
+        assert same > 20 * striped
+
+    def test_citadel_headline(self, geom):
+        """Figure 18: orders of magnitude over the striped symbol code."""
+        striped = mc(
+            geom, SymbolCode(geom, StripingPolicy.ACROSS_CHANNELS),
+            tsv_fit=1430.0, tsv_swap_standby=4,
+        )
+        citadel = mc(
+            geom, make_3dp(geom), trials=60000, tsv_fit=1430.0,
+            tsv_swap_standby=4, use_dds=True,
+        )
+        assert striped > 50 * max(citadel, 1e-7)
+
+    def test_bch_worst_raid_middle(self, geom):
+        """Figure 19 ordering."""
+        bch = mc(geom, BCHCode(geom))
+        raid = mc(geom, RAID5(geom))
+        citadel = mc(geom, make_3dp(geom), trials=30000,
+                     tsv_swap_standby=4, use_dds=True)
+        assert bch > raid > citadel
+
+    def test_1dp_insufficient(self, geom):
+        """§VI-A: single-dimension parity cannot handle multiple faults."""
+        one = mc(geom, make_1dp(geom))
+        three = mc(geom, make_3dp(geom))
+        assert one > 2 * three
+
+    def test_unmitigated_tsv_faults_dominate_3dp(self, geom):
+        """§V: TSV faults self-alias in every parity dimension."""
+        bare = mc(geom, make_3dp(geom), tsv_fit=1430.0)
+        swapped = mc(geom, make_3dp(geom), tsv_fit=1430.0, tsv_swap_standby=4)
+        assert bare > 20 * swapped
+
+
+class TestPerformanceClaims:
+    @pytest.fixture(scope="class")
+    def runs(self, geom):
+        traces = rate_mode_traces("milc", geom, requests_per_core=1500, seed=3)
+        configs = {
+            "base": PerfConfig(),
+            "ab": PerfConfig(striping=StripingPolicy.ACROSS_BANKS),
+            "ac": PerfConfig(striping=StripingPolicy.ACROSS_CHANNELS),
+            "3dp": PerfConfig(parity_protection=True),
+        }
+        return {
+            name: SystemSimulator(geom, cfg).run(traces)
+            for name, cfg in configs.items()
+        }
+
+    def test_striping_slowdown_ordering(self, runs):
+        """Figure 15: base <= 3DP < Across Banks < Across Channels on a
+        memory-intensive workload."""
+        assert runs["base"].exec_cycles <= runs["3dp"].exec_cycles
+        assert runs["3dp"].exec_cycles < runs["ab"].exec_cycles
+        assert runs["ab"].exec_cycles < runs["ac"].exec_cycles
+
+    def test_3dp_overhead_small(self, runs):
+        assert (
+            runs["3dp"].exec_cycles / runs["base"].exec_cycles < 1.10
+        )
+
+    def test_striping_power_multiplier(self, geom, runs):
+        """Figure 5: striped active power is a multiple of the baseline."""
+        pm = PowerModel(geom)
+        base = pm.active_power_mw(runs["base"].counters)
+        ab = pm.active_power_mw(runs["ab"].counters)
+        assert ab > 2.5 * base
+
+    def test_3dp_power_near_baseline(self, geom, runs):
+        pm = PowerModel(geom)
+        base = pm.active_power_mw(runs["base"].counters)
+        dp = pm.active_power_mw(runs["3dp"].counters)
+        assert dp / base < 1.2
+
+    def test_parity_cache_hit_rate_high(self, runs):
+        """Figure 13: streaming writebacks reuse parity lines heavily."""
+        assert runs["3dp"].parity_hit_rate > 0.75
+
+
+class TestOverheadClaims:
+    def test_storage_overhead_vs_ecc_dimm(self, geom):
+        """§VII-E: 14% vs the ECC DIMM's 12.5%."""
+        from repro.core.citadel import CitadelConfig
+
+        overhead = CitadelConfig(geometry=geom).storage_overhead()
+        assert 0.125 < overhead.dram_fraction < 0.15
+        assert overhead.dram_fraction - 0.125 == pytest.approx(
+            1 / 64, abs=1e-3
+        )

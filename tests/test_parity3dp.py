@@ -1,0 +1,199 @@
+"""Correctability of Tri-Dimensional Parity (§VI): the peeling model must
+reproduce every claim the paper makes about which fault combinations 3DP
+corrects, and the 1DP/2DP ablations."""
+
+import pytest
+
+from repro.core.parity3dp import ParityND, make_1dp, make_2dp, make_3dp
+from repro.errors import ConfigurationError
+from repro.faults.types import (
+    Permanence,
+    make_addr_tsv_fault,
+    make_bank_fault,
+    make_bit_fault,
+    make_column_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+    make_subarray_fault,
+    make_word_fault,
+)
+from repro.stack.geometry import StackGeometry
+
+P = Permanence.PERMANENT
+
+
+@pytest.fixture
+def geom():
+    return StackGeometry()
+
+
+class TestSingleFaults3DP:
+    """3DP corrects every single DRAM fault, small or large (§VI)."""
+
+    @pytest.mark.parametrize("make,args", [
+        (make_bit_fault, (0, 0, 10, 100)),
+        (make_word_fault, (0, 0, 10, 5)),
+        (make_row_fault, (1, 2, 300)),
+        (make_column_fault, (2, 3, 42)),
+        (make_subarray_fault, (3, 4, 1)),
+        (make_bank_fault, (7, 7)),
+    ])
+    def test_single_dram_fault_correctable(self, geom, make, args):
+        fault = make(geom, *args, P)
+        assert not make_3dp(geom).is_uncorrectable([fault])
+
+    def test_unswapped_tsv_faults_fatal(self, geom):
+        """TSV faults self-alias in all three dimensions — this is exactly
+        why Citadel needs TSV-Swap in addition to 3DP."""
+        assert make_3dp(geom).is_uncorrectable([make_data_tsv_fault(geom, 0, 5)])
+        assert make_3dp(geom).is_uncorrectable([make_addr_tsv_fault(geom, 0, 5)])
+
+
+class TestDimensionRoles:
+    """§VI-D: dims 2/3 isolate small faults; dim 1 corrects large ones."""
+
+    def test_bank_plus_bit_other_die_correctable(self, geom):
+        bank = make_bank_fault(geom, 0, 0, P)
+        bit = make_bit_fault(geom, 1, 1, 5, 5, P)
+        assert not make_3dp(geom).is_uncorrectable([bank, bit])
+
+    def test_bank_plus_bit_same_die_correctable_by_dim3(self, geom):
+        bank = make_bank_fault(geom, 0, 0, P)
+        bit = make_bit_fault(geom, 0, 1, 5, 5, P)  # same die, other bank
+        assert not make_3dp(geom).is_uncorrectable([bank, bit])
+        # ...but 2DP (dims 1+2) cannot peel the bit: it aliases the bank
+        # fault in dim 1 (rows/cols intersect) and dim 2 (same die).
+        assert make_2dp(geom).is_uncorrectable([bank, bit])
+
+    def test_bank_plus_row_same_die_correctable(self, geom):
+        bank = make_bank_fault(geom, 0, 0, P)
+        row = make_row_fault(geom, 0, 3, 77, P)
+        assert not make_3dp(geom).is_uncorrectable([bank, row])
+
+    def test_two_bank_faults_fatal(self, geom):
+        a = make_bank_fault(geom, 0, 0, P)
+        b = make_bank_fault(geom, 1, 1, P)
+        assert make_3dp(geom).is_uncorrectable([a, b])
+
+    def test_two_subarray_faults_same_range_fatal(self, geom):
+        a = make_subarray_fault(geom, 0, 0, 2, P)
+        b = make_subarray_fault(geom, 1, 1, 2, P)
+        assert make_3dp(geom).is_uncorrectable([a, b])
+
+    def test_two_subarray_faults_different_ranges_correctable(self, geom):
+        # Disjoint row ranges: different dim-1 groups.
+        a = make_subarray_fault(geom, 0, 0, 2, P)
+        b = make_subarray_fault(geom, 1, 1, 3, P)
+        assert not make_3dp(geom).is_uncorrectable([a, b])
+
+    def test_column_plus_subarray_fatal(self, geom):
+        # Both self-alias in dims 2/3 and collide in dim 1.
+        col = make_column_fault(geom, 0, 0, 9, P)
+        sub = make_subarray_fault(geom, 1, 1, 0, P)
+        assert make_3dp(geom).is_uncorrectable([col, sub])
+
+    def test_column_plus_row_correctable(self, geom):
+        col = make_column_fault(geom, 0, 0, 9, P)
+        row = make_row_fault(geom, 0, 1, 100, P)
+        assert not make_3dp(geom).is_uncorrectable([col, row])
+
+    def test_two_columns_different_bits_correctable(self, geom):
+        a = make_column_fault(geom, 0, 0, 9, P)
+        b = make_column_fault(geom, 1, 1, 10, P)
+        assert not make_3dp(geom).is_uncorrectable([a, b])
+
+    def test_two_columns_same_bit_fatal(self, geom):
+        a = make_column_fault(geom, 0, 0, 9, P)
+        b = make_column_fault(geom, 1, 1, 9, P)
+        assert make_3dp(geom).is_uncorrectable([a, b])
+
+
+class TestNestedFaults:
+    """Faults inside an already-faulty region add no new bad bits."""
+
+    def test_bit_inside_failed_bank_correctable(self, geom):
+        bank = make_bank_fault(geom, 0, 0, P)
+        bit = make_bit_fault(geom, 0, 0, 5, 5, P)  # same bank
+        assert not make_3dp(geom).is_uncorrectable([bank, bit])
+        assert not make_1dp(geom).is_uncorrectable([bank, bit])
+
+    def test_row_inside_failed_subarray_correctable(self, geom):
+        sub = make_subarray_fault(geom, 0, 0, 1, P)
+        row = make_row_fault(geom, 0, 0, geom.rows_per_subarray + 5, P)
+        assert not make_3dp(geom).is_uncorrectable([sub, row])
+
+    def test_three_bits_same_bank_same_row_correctable(self, geom):
+        faults = [
+            make_bit_fault(geom, 0, 0, 9, c, P) for c in (3, 700, 1500)
+        ]
+        assert not make_3dp(geom).is_uncorrectable(faults)
+
+
+class TestAblations:
+    def test_1dp_fails_on_bank_plus_anything_overlapping(self, geom):
+        """§VI-A: with one dimension, a single-bit failure after a
+        single-bank failure results in data loss."""
+        bank = make_bank_fault(geom, 0, 0, P)
+        bit = make_bit_fault(geom, 5, 5, 123, 456, P)
+        assert make_1dp(geom).is_uncorrectable([bank, bit])
+        assert not make_2dp(geom).is_uncorrectable([bank, bit])
+
+    def test_dimension_hierarchy(self, geom):
+        """Every set 1DP corrects, 2DP corrects; every set 2DP corrects,
+        3DP corrects (on a representative mixed set)."""
+        sets = [
+            [make_bit_fault(geom, 0, 0, 1, 1, P)],
+            [make_row_fault(geom, 0, 0, 1, P), make_bit_fault(geom, 1, 1, 1, 1, P)],
+            [make_bank_fault(geom, 2, 2, P), make_row_fault(geom, 2, 3, 9, P)],
+            [make_subarray_fault(geom, 0, 0, 0, P),
+             make_bit_fault(geom, 0, 1, 5, 5, P)],
+        ]
+        for faults in sets:
+            if not make_1dp(geom).is_uncorrectable(faults):
+                assert not make_2dp(geom).is_uncorrectable(faults)
+            if not make_2dp(geom).is_uncorrectable(faults):
+                assert not make_3dp(geom).is_uncorrectable(faults)
+
+    def test_invalid_dimensions_rejected(self, geom):
+        with pytest.raises(ConfigurationError):
+            ParityND(geom, frozenset())
+        with pytest.raises(ConfigurationError):
+            ParityND(geom, frozenset({0, 1}))
+
+    def test_names(self, geom):
+        assert make_1dp(geom).name == "1DP"
+        assert make_2dp(geom).name == "2DP"
+        assert make_3dp(geom).name == "3DP"
+
+
+class TestMetadataAndOverheads:
+    def test_metadata_die_faults_ignored(self, geom):
+        meta = make_bank_fault(geom, 8, 0, P)
+        assert not make_3dp(geom).is_uncorrectable([meta])
+        data = make_bank_fault(geom, 0, 0, P)
+        assert not make_3dp(geom).is_uncorrectable([meta, data])
+
+    def test_parity_bank_participates(self, geom):
+        """A fault in the dim-1 parity bank plus an aliasing data fault is
+        data loss, by XOR symmetry."""
+        parity_die, parity_bank = make_3dp(geom).parity_bank
+        pb = make_bank_fault(geom, parity_die, parity_bank, P)
+        other = make_bank_fault(geom, 0, 0, P)
+        assert make_3dp(geom).is_uncorrectable([pb, other])
+        assert not make_3dp(geom).is_uncorrectable([pb])
+
+    def test_dram_overhead_is_1_6_percent(self, geom):
+        assert make_3dp(geom).storage_overhead_fraction() == pytest.approx(1 / 64)
+        assert make_2dp(geom).storage_overhead_fraction() == pytest.approx(1 / 64)
+
+    def test_sram_overhead_is_34kb(self, geom):
+        """§VI-C: 9 rows (dim 2) + 8 rows (dim 3) x 2KB = 34 KB."""
+        assert make_3dp(geom).sram_overhead_bytes() == 17 * 2048
+
+    def test_peeling_terminates_on_large_sets(self, geom):
+        faults = [
+            make_bit_fault(geom, d, b, r, c, P)
+            for d, b, r, c in [(0, 0, 0, 0), (1, 1, 1, 1), (2, 2, 2, 2),
+                               (0, 1, 0, 0), (1, 0, 1, 1)]
+        ] + [make_bank_fault(geom, 3, 3, P), make_column_fault(geom, 4, 4, 9, P)]
+        make_3dp(geom).is_uncorrectable(faults)  # must not hang

@@ -1,0 +1,241 @@
+"""Tests for the performance/power substrate: bank timing, LLC, power
+accounting and the system simulator's qualitative behaviors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.bank import BankState, ChannelState
+from repro.perf.llc import LRUCache
+from repro.perf.power import EnergyCounters, PowerModel, PowerParams
+from repro.perf.system import PerfConfig, SystemSimulator
+from repro.perf.timing import DRAMTimings
+from repro.stack.address import LineLocation
+from repro.stack.geometry import StackGeometry
+from repro.stack.striping import StripingPolicy
+from repro.workloads.trace import MemoryRequest, Trace
+
+
+@pytest.fixture
+def geom():
+    return StackGeometry()
+
+
+T = DRAMTimings()
+
+
+class TestDRAMTimings:
+    def test_paper_values(self):
+        assert (T.tWTR, T.tCAS, T.tRCD, T.tRP, T.tRAS) == (7, 9, 9, 9, 36)
+
+    def test_derived(self):
+        assert T.row_miss_penalty == 27
+        assert T.row_hit_latency == 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DRAMTimings(tCAS=0)
+        with pytest.raises(ConfigurationError):
+            DRAMTimings(tRAS=5, tRCD=9)
+
+
+class TestBankState:
+    def test_first_access_is_row_miss(self):
+        bank = BankState(T)
+        data_at = bank.access(0, row=5, is_write=False)
+        assert data_at == T.tRP + T.tRCD + T.tCAS
+        assert bank.row_misses == 1 and bank.activations == 1
+
+    def test_second_access_same_row_hits(self):
+        bank = BankState(T)
+        first = bank.access(0, 5, False)
+        second = bank.access(first, 5, False)
+        assert bank.row_hits == 1
+        assert second - first >= T.tCAS
+
+    def test_row_conflict_pays_tras(self):
+        bank = BankState(T)
+        bank.access(0, 5, False)
+        busy_after_first = bank.busy_until
+        assert busy_after_first >= T.tRP + T.tRAS  # row held open for tRAS
+        bank.access(0, 6, False)
+        assert bank.activations == 2
+
+    def test_write_adds_turnaround(self):
+        rd, wr = BankState(T), BankState(T)
+        rd.access(0, 5, False)
+        wr.access(0, 5, True)
+        assert wr.busy_until == rd.busy_until + T.tWTR
+
+    def test_requests_serialize_on_bank(self):
+        bank = BankState(T)
+        a = bank.access(0, 1, False)
+        b = bank.access(0, 2, False)
+        assert b > a
+
+
+class TestChannelBus:
+    def test_bus_serializes(self):
+        ch = ChannelState(T, num_banks=8)
+        first = ch.reserve_bus(10)
+        second = ch.reserve_bus(10)
+        assert first == 10 + T.tBURST
+        assert second == first + T.tBURST
+        assert ch.bus_busy_cycles == 2 * T.tBURST
+
+
+class TestLRUCache:
+    def test_hit_after_insert(self):
+        c = LRUCache(num_sets=4, ways=2)
+        assert not c.access("a")
+        assert c.access("a")
+        assert c.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        c = LRUCache(num_sets=1, ways=2)
+        c.access("a")
+        c.access("b")
+        c.access("a")   # a is now MRU
+        c.access("c")   # evicts b
+        assert c.contains("a") and c.contains("c")
+        assert not c.contains("b")
+
+    def test_llc_shape(self):
+        llc = LRUCache.like_llc()
+        assert llc.num_sets * llc.ways * 64 == 8 << 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(num_sets=0, ways=2)
+
+    def test_reset_stats(self):
+        c = LRUCache(4, 2)
+        c.access("a")
+        c.reset_stats()
+        assert c.hits == 0 and c.misses == 0
+
+
+class TestPowerModel:
+    def test_energy_accumulates(self, geom):
+        model = PowerModel(geom, stacks=1)
+        counters = EnergyCounters(
+            activations=10, read_bytes=640, write_bytes=0, exec_cycles=800
+        )
+        expected_nj = 10 * 18.0 + 10 * 4.0
+        refresh = 25.0 * 9 * (800 / 800e6) * 1e6
+        assert model.active_energy_nj(counters) == pytest.approx(
+            expected_nj + refresh
+        )
+
+    def test_power_requires_positive_time(self, geom):
+        with pytest.raises(ConfigurationError):
+            PowerModel(geom).active_power_mw(EnergyCounters())
+
+    def test_params_validated(self):
+        with pytest.raises(ConfigurationError):
+            PowerParams(e_act_nj=-1)
+
+    def test_striped_access_costs_more_activation_energy(self, geom):
+        """8 activates per miss vs 1: the root of Figure 5's power gap."""
+        model = PowerModel(geom)
+        sb = EnergyCounters(activations=100, read_bytes=6400, exec_cycles=1000)
+        striped = EnergyCounters(
+            activations=800, read_bytes=6400, exec_cycles=1000
+        )
+        assert model.active_energy_nj(striped) > 3 * model.active_energy_nj(sb)
+
+
+def _flat_trace(n, gap, write_every=0, mlp=4, stride=1):
+    geom = StackGeometry()
+    from repro.stack.address import AddressMapper
+
+    mapper = AddressMapper(geom, stacks=2)
+    reqs = []
+    for i in range(n):
+        reqs.append(
+            MemoryRequest(
+                gap_cycles=gap,
+                is_write=bool(write_every and i % write_every == 0),
+                home=mapper.to_location((i * stride) % mapper.num_lines),
+            )
+        )
+    return Trace(name="flat", requests=tuple(reqs), mlp=mlp)
+
+
+class TestSystemSimulator:
+    def test_requires_traces(self, geom):
+        sim = SystemSimulator(geom, PerfConfig())
+        with pytest.raises(ConfigurationError):
+            sim.run([])
+
+    def test_exec_time_positive(self, geom):
+        result = SystemSimulator(geom, PerfConfig()).run([_flat_trace(100, 10)])
+        assert result.exec_cycles > 0
+        assert result.demand_reads == 100
+
+    def test_striping_never_faster(self, geom):
+        traces = [_flat_trace(500, 2, stride=997) for _ in range(4)]
+        base = SystemSimulator(geom, PerfConfig()).run(traces)
+        for policy in (StripingPolicy.ACROSS_BANKS, StripingPolicy.ACROSS_CHANNELS):
+            striped = SystemSimulator(
+                geom, PerfConfig(striping=policy)
+            ).run(traces)
+            assert striped.exec_cycles >= base.exec_cycles
+            assert striped.counters.activations > base.counters.activations
+
+    def test_striped_activations_multiply(self, geom):
+        trace = _flat_trace(200, 50, stride=997)  # random-ish, low load
+        base = SystemSimulator(geom, PerfConfig()).run([trace])
+        striped = SystemSimulator(
+            geom, PerfConfig(striping=StripingPolicy.ACROSS_BANKS)
+        ).run([trace])
+        assert striped.counters.activations == pytest.approx(
+            8 * base.counters.activations, rel=0.05
+        )
+
+    def test_parity_traffic_only_for_writes(self, geom):
+        reads = _flat_trace(200, 10)
+        cfg = PerfConfig(parity_protection=True)
+        result = SystemSimulator(geom, cfg).run([reads])
+        assert result.parity_lookups == 0 and result.rbw_reads == 0
+
+    def test_parity_protection_adds_rbw(self, geom):
+        trace = _flat_trace(200, 10, write_every=2)
+        result = SystemSimulator(
+            geom, PerfConfig(parity_protection=True)
+        ).run([trace])
+        assert result.rbw_reads == result.demand_writes
+        assert result.parity_lookups == result.demand_writes
+
+    def test_no_caching_always_fetches_parity(self, geom):
+        trace = _flat_trace(200, 10, write_every=2)
+        result = SystemSimulator(
+            geom, PerfConfig(parity_protection=True, parity_caching=False)
+        ).run([trace])
+        assert result.parity_fetches == result.demand_writes
+        assert result.parity_hits == 0
+
+    def test_sequential_writes_hit_parity_cache(self, geom):
+        """Consecutive lines share a dim-1 parity group: high hit rate."""
+        trace = _flat_trace(512, 10, write_every=1)
+        result = SystemSimulator(
+            geom, PerfConfig(parity_protection=True)
+        ).run([trace])
+        assert result.parity_hit_rate > 0.8
+
+    def test_row_buffer_hit_rate_tracks_locality(self, geom):
+        streaming = _flat_trace(500, 10, stride=1)
+        random_ish = _flat_trace(500, 10, stride=524287)
+        r_stream = SystemSimulator(geom, PerfConfig()).run([streaming])
+        r_random = SystemSimulator(geom, PerfConfig()).run([random_ish])
+        assert r_stream.row_buffer_hit_rate > r_random.row_buffer_hit_rate
+
+    def test_mlp_throttles_throughput(self, geom):
+        heavy = [_flat_trace(400, 0, stride=997, mlp=1) for _ in range(2)]
+        wide = [_flat_trace(400, 0, stride=997, mlp=8) for _ in range(2)]
+        slow = SystemSimulator(geom, PerfConfig()).run(heavy)
+        fast = SystemSimulator(geom, PerfConfig()).run(wide)
+        assert fast.exec_cycles < slow.exec_cycles
+
+    def test_labels(self, geom):
+        assert PerfConfig().label() == "Same Bank"
+        assert "parity caching" in PerfConfig(parity_protection=True).label()

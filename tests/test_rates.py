@@ -1,0 +1,95 @@
+"""Tests for FIT tables: Table I must be reproduced exactly from the 1 Gb
+field data and the paper's scaling rules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.rates import (
+    SRIDHARAN_1GB_FIT,
+    TABLE_I_8GB_FIT,
+    TSV_FIT_HIGH,
+    TSV_FIT_SWEEP,
+    FailureRates,
+    scale_die_rates,
+)
+from repro.faults.types import FaultKind, Permanence
+
+
+class TestTableI:
+    """Exact values from Table I of the paper."""
+
+    @pytest.mark.parametrize(
+        "kind,transient,permanent",
+        [
+            (FaultKind.BIT, 113.6, 148.8),
+            (FaultKind.WORD, 11.2, 2.4),
+            (FaultKind.COLUMN, 2.66, 10.45),
+            (FaultKind.ROW, 0.8, 32.8),
+            (FaultKind.BANK, 6.4, 80.0),
+        ],
+    )
+    def test_scaled_rates(self, kind, transient, permanent):
+        got_t, got_p = TABLE_I_8GB_FIT[kind]
+        assert got_t == pytest.approx(transient, abs=0.11)
+        assert got_p == pytest.approx(permanent, abs=0.11)
+
+    def test_scaling_is_pure_function(self):
+        assert scale_die_rates() == TABLE_I_8GB_FIT
+
+    def test_base_rates_cover_all_dram_kinds(self):
+        assert set(SRIDHARAN_1GB_FIT) == {
+            FaultKind.BIT,
+            FaultKind.WORD,
+            FaultKind.COLUMN,
+            FaultKind.ROW,
+            FaultKind.BANK,
+        }
+
+    def test_tsv_sweep_range(self):
+        assert min(TSV_FIT_SWEEP) == 14.0
+        assert max(TSV_FIT_SWEEP) == 1430.0
+        assert TSV_FIT_HIGH == 1430.0
+
+
+class TestFailureRates:
+    def test_defaults_to_table_i(self):
+        rates = FailureRates()
+        assert rates.die_fit == dict(TABLE_I_8GB_FIT)
+        assert rates.tsv_device_fit == 0.0
+
+    def test_rate_lookup(self):
+        rates = FailureRates()
+        assert rates.rate(FaultKind.ROW, Permanence.TRANSIENT) == pytest.approx(0.8)
+        assert rates.rate(FaultKind.ROW, Permanence.PERMANENT) == pytest.approx(32.8)
+
+    def test_die_total(self):
+        rates = FailureRates()
+        expected = sum(t + p for t, p in TABLE_I_8GB_FIT.values())
+        assert rates.die_total_fit() == pytest.approx(expected)
+        assert rates.die_total_fit() == pytest.approx(409.11, abs=0.5)
+
+    def test_with_tsv_fit(self):
+        rates = FailureRates().with_tsv_fit(1430.0)
+        assert rates.tsv_device_fit == 1430.0
+        assert rates.without_tsv_faults().tsv_device_fit == 0.0
+
+    def test_rejects_negative_tsv_fit(self):
+        with pytest.raises(ConfigurationError):
+            FailureRates(tsv_device_fit=-1.0)
+
+    def test_rejects_tsv_kind_in_die_fit(self):
+        with pytest.raises(ConfigurationError):
+            FailureRates(die_fit={FaultKind.DATA_TSV: (1.0, 1.0)})
+
+    def test_rejects_negative_die_fit(self):
+        with pytest.raises(ConfigurationError):
+            FailureRates(die_fit={FaultKind.BIT: (-1.0, 1.0)})
+
+    def test_rejects_bad_bank_granularity(self):
+        with pytest.raises(ConfigurationError):
+            FailureRates(bank_fault_granularity="die")
+
+    def test_paper_baseline_helper(self):
+        rates = FailureRates.paper_baseline(tsv_device_fit=143.0)
+        assert rates.tsv_device_fit == 143.0
+        assert rates.bank_fault_granularity == "subarray"

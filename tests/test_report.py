@@ -1,0 +1,70 @@
+"""Tests for the paper-vs-measured reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.report import (
+    ExperimentReport,
+    ExperimentRow,
+    geomean,
+    same_order_of_magnitude,
+)
+
+
+class TestExperimentReport:
+    def test_render_contains_all_rows(self):
+        report = ExperimentReport("Figure X", "Test experiment")
+        report.add("series-a", 1.5, 1.4, unit="x")
+        report.add("series-b", None, 0.001, unit="p", note="hello")
+        report.note("footnote")
+        text = report.render()
+        assert "Figure X" in text
+        assert "series-a" in text and "series-b" in text
+        assert "1.50x" in text and "1.40x" in text
+        assert "1.00e-03" in text
+        assert "footnote" in text and "hello" in text
+
+    def test_percentage_formatting(self):
+        report = ExperimentReport("T", "t")
+        report.add("r", 0.85, 0.8527, unit="%")
+        text = report.render()
+        assert "85.00%" in text and "85.27%" in text
+
+    def test_missing_values_render_dash(self):
+        report = ExperimentReport("T", "t")
+        report.add("r", None, None)
+        assert "-" in report.render()
+
+    def test_row_ratio(self):
+        row = ExperimentRow("r", paper=2.0, measured=3.0)
+        assert row.ratio() == pytest.approx(1.5)
+        assert ExperimentRow("r", None, 3.0).ratio() is None
+        assert ExperimentRow("r", 2.0, None).ratio() is None
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_matches_log_definition(self):
+        values = [1.1, 0.9, 1.25, 2.23]
+        expected = math.exp(sum(map(math.log, values)) / len(values))
+        assert geomean(values) == pytest.approx(expected)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestSameOrderOfMagnitude:
+    def test_within_slack(self):
+        assert same_order_of_magnitude(1e-4, 5e-4)
+        assert same_order_of_magnitude(5e-4, 1e-4)
+        assert not same_order_of_magnitude(1e-4, 5e-3)
+
+    def test_zero_is_never_same(self):
+        assert not same_order_of_magnitude(0.0, 1e-4)

@@ -1,0 +1,214 @@
+"""Correctability of the 8-bit symbol (ChipKill-like) code under the three
+data mappings of §II-D/§II-E."""
+
+import pytest
+
+from repro.ecc.symbol_code import SymbolCode
+from repro.faults.types import (
+    Permanence,
+    make_addr_tsv_fault,
+    make_bank_fault,
+    make_bit_fault,
+    make_column_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+    make_subarray_fault,
+    make_word_fault,
+)
+from repro.stack.geometry import StackGeometry
+from repro.stack.striping import StripingPolicy
+
+P = Permanence.PERMANENT
+
+
+@pytest.fixture
+def geom():
+    return StackGeometry()
+
+
+def same_bank(geom):
+    return SymbolCode(geom, StripingPolicy.SAME_BANK)
+
+
+def across_banks(geom):
+    return SymbolCode(geom, StripingPolicy.ACROSS_BANKS)
+
+
+def across_channels(geom):
+    return SymbolCode(geom, StripingPolicy.ACROSS_CHANNELS)
+
+
+class TestSameBankSingleFaults:
+    def test_bit_fault_correctable(self, geom):
+        assert not same_bank(geom).is_uncorrectable(
+            [make_bit_fault(geom, 0, 0, 0, 100, P)]
+        )
+
+    def test_word_fault_correctable(self, geom):
+        # A 32-bit word stays inside one aligned 64-bit symbol unit.
+        assert not same_bank(geom).is_uncorrectable(
+            [make_word_fault(geom, 0, 0, 0, 4, P)]
+        )
+
+    def test_column_fault_correctable(self, geom):
+        # One bit per line: a single symbol.
+        assert not same_bank(geom).is_uncorrectable(
+            [make_column_fault(geom, 0, 0, 9, P)]
+        )
+
+    def test_row_fault_fatal(self, geom):
+        # The whole line is lost: all symbols of its codewords.
+        assert same_bank(geom).is_uncorrectable(
+            [make_row_fault(geom, 0, 0, 5, P)]
+        )
+
+    def test_bank_and_subarray_fault_fatal(self, geom):
+        assert same_bank(geom).is_uncorrectable([make_bank_fault(geom, 0, 0, P)])
+        assert same_bank(geom).is_uncorrectable(
+            [make_subarray_fault(geom, 0, 0, 0, P)]
+        )
+
+    def test_dtsv_fault_fatal(self, geom):
+        # Bits k and k+256 land in two different 64-bit slices.
+        assert same_bank(geom).is_uncorrectable([make_data_tsv_fault(geom, 0, 1)])
+
+    def test_atsv_fault_fatal(self, geom):
+        assert same_bank(geom).is_uncorrectable([make_addr_tsv_fault(geom, 0, 0)])
+
+
+class TestAcrossBanksSingleFaults:
+    def test_bank_fault_correctable(self, geom):
+        # The whole point of striping: one bank is one symbol.
+        assert not across_banks(geom).is_uncorrectable(
+            [make_bank_fault(geom, 0, 3, P)]
+        )
+
+    def test_row_and_column_faults_correctable(self, geom):
+        assert not across_banks(geom).is_uncorrectable(
+            [make_row_fault(geom, 0, 0, 5, P)]
+        )
+        assert not across_banks(geom).is_uncorrectable(
+            [make_column_fault(geom, 0, 0, 9, P)]
+        )
+
+    def test_tsv_faults_fatal(self, geom):
+        # TSVs are shared by all banks of the die: multi-symbol corruption.
+        assert across_banks(geom).is_uncorrectable([make_data_tsv_fault(geom, 0, 7)])
+        assert across_banks(geom).is_uncorrectable([make_addr_tsv_fault(geom, 0, 2)])
+
+
+class TestAcrossChannelsSingleFaults:
+    def test_everything_single_die_correctable(self, geom):
+        code = across_channels(geom)
+        for fault in [
+            make_bit_fault(geom, 0, 0, 0, 0, P),
+            make_row_fault(geom, 1, 1, 1, P),
+            make_column_fault(geom, 2, 2, 2, P),
+            make_bank_fault(geom, 3, 3, P),
+            make_data_tsv_fault(geom, 4, 4),
+            make_addr_tsv_fault(geom, 5, 5),
+        ]:
+            assert not code.is_uncorrectable([fault]), fault
+
+    def test_min_faults_to_fail_is_two(self, geom):
+        assert across_channels(geom).min_faults_to_fail() == 2
+
+
+class TestPairs:
+    def test_same_bank_two_faults_same_symbol_ok(self, geom):
+        # Two bit faults in the same 64-bit slice of the same line.
+        a = make_bit_fault(geom, 0, 0, 10, 3, P)
+        b = make_bit_fault(geom, 0, 0, 10, 7, P)
+        assert not same_bank(geom).is_uncorrectable([a, b])
+
+    def test_same_bank_two_faults_different_symbols_fatal(self, geom):
+        a = make_bit_fault(geom, 0, 0, 10, 3, P)
+        b = make_bit_fault(geom, 0, 0, 10, 100, P)
+        assert same_bank(geom).is_uncorrectable([a, b])
+
+    def test_same_bank_different_lines_ok(self, geom):
+        a = make_bit_fault(geom, 0, 0, 10, 3, P)
+        b = make_bit_fault(geom, 0, 0, 10, 512 + 100, P)  # next line slot
+        assert not same_bank(geom).is_uncorrectable([a, b])
+
+    def test_across_banks_two_banks_same_die_fatal(self, geom):
+        a = make_bank_fault(geom, 0, 0, P)
+        b = make_bank_fault(geom, 0, 1, P)
+        assert across_banks(geom).is_uncorrectable([a, b])
+
+    def test_across_banks_two_banks_different_dies_ok(self, geom):
+        a = make_bank_fault(geom, 0, 0, P)
+        b = make_bank_fault(geom, 1, 1, P)
+        assert not across_banks(geom).is_uncorrectable([a, b])
+
+    def test_across_channels_two_dies_same_bank_fatal(self, geom):
+        a = make_bank_fault(geom, 0, 3, P)
+        b = make_bank_fault(geom, 1, 3, P)
+        assert across_channels(geom).is_uncorrectable([a, b])
+
+    def test_across_channels_two_dies_different_banks_ok(self, geom):
+        a = make_bank_fault(geom, 0, 3, P)
+        b = make_bank_fault(geom, 1, 4, P)
+        assert not across_channels(geom).is_uncorrectable([a, b])
+
+    def test_across_channels_two_tsv_faults_fatal(self, geom):
+        a = make_addr_tsv_fault(geom, 0, 0)
+        b = make_addr_tsv_fault(geom, 1, 1)
+        assert across_channels(geom).is_uncorrectable([a, b])
+
+    def test_across_channels_same_die_multiple_faults_ok(self, geom):
+        faults = [
+            make_bank_fault(geom, 2, 0, P),
+            make_row_fault(geom, 2, 1, 7, P),
+            make_data_tsv_fault(geom, 2, 9),
+        ]
+        assert not across_channels(geom).is_uncorrectable(faults)
+
+    def test_disjoint_rows_ok_across_channels(self, geom):
+        a = make_row_fault(geom, 0, 3, 10, P)
+        b = make_row_fault(geom, 1, 3, 11, P)
+        assert not across_channels(geom).is_uncorrectable([a, b])
+
+
+class TestMetadataDie:
+    META = 8
+
+    def test_metadata_fault_alone_correctable_all_policies(self, geom):
+        fault = make_bank_fault(geom, self.META, 0, P)
+        for code in (same_bank(geom), across_banks(geom), across_channels(geom)):
+            assert not code.is_uncorrectable([fault])
+
+    def test_across_channels_meta_plus_data_same_bank_fatal(self, geom):
+        # The metadata die is the ninth symbol unit.
+        meta = make_bank_fault(geom, self.META, 3, P)
+        data = make_bank_fault(geom, 0, 3, P)
+        assert across_channels(geom).is_uncorrectable([meta, data])
+
+    def test_across_banks_meta_bank_mirrors_die(self, geom):
+        # Metadata bank d holds the check symbols for die d.
+        meta = make_bank_fault(geom, self.META, 2, P)
+        data = make_bank_fault(geom, 2, 5, P)
+        other = make_bank_fault(geom, 3, 5, P)
+        assert across_banks(geom).is_uncorrectable([meta, data])
+        assert not across_banks(geom).is_uncorrectable([meta, other])
+
+    def test_two_metadata_faults_ok(self, geom):
+        a = make_bank_fault(geom, self.META, 0, P)
+        b = make_row_fault(geom, self.META, 0, 9, P)
+        for code in (same_bank(geom), across_banks(geom), across_channels(geom)):
+            assert not code.is_uncorrectable([a, b])
+
+
+class TestOverheadAndNames:
+    def test_overhead_is_ecc_dimm_like(self, geom):
+        assert same_bank(geom).storage_overhead_fraction() == pytest.approx(0.125)
+
+    def test_names_include_policy(self, geom):
+        assert "Same Bank" in same_bank(geom).name
+        assert "Across Banks" in across_banks(geom).name
+        assert "Across Channels" in across_channels(geom).name
+
+    def test_min_faults(self, geom):
+        assert same_bank(geom).min_faults_to_fail() == 1
+        assert across_banks(geom).min_faults_to_fail(tsv_possible=True) == 1
+        assert across_banks(geom).min_faults_to_fail(tsv_possible=False) == 2

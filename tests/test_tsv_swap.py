@@ -1,0 +1,134 @@
+"""Tests for TSV-SWAP (§V): stand-by pool management, TRR redirection and
+the reliability-engine filter."""
+
+import pytest
+
+from repro.core.tsv_swap import TSVSwapController, apply_tsv_swap
+from repro.errors import CapacityError, ConfigurationError
+from repro.faults.types import (
+    Permanence,
+    make_addr_tsv_fault,
+    make_bit_fault,
+    make_data_tsv_fault,
+)
+from repro.stack.geometry import StackGeometry
+from repro.stack.tsv import TSVClass, TSVId, standby_dtsv_indices
+
+
+@pytest.fixture
+def geom():
+    return StackGeometry()
+
+
+class TestStandbyPool:
+    def test_paper_standby_indices(self, geom):
+        """§V-C1: DTSV-0, DTSV-64, DTSV-128, DTSV-192."""
+        assert standby_dtsv_indices(geom, 4) == [0, 64, 128, 192]
+
+    def test_count_must_divide_pool(self, geom):
+        with pytest.raises(ConfigurationError):
+            standby_dtsv_indices(geom, 3)
+
+    def test_metadata_cost_is_8_bits(self, geom):
+        """4 stand-by DTSVs x burst 2 = the 8 swap-data bits of Figure 6."""
+        controller = TSVSwapController(geom)
+        assert controller.metadata_bits_used() == 8
+
+
+class TestRepair:
+    def test_repair_data_tsv(self, geom):
+        c = TSVSwapController(geom)
+        tsv = TSVId(channel=0, tsv_class=TSVClass.DATA, index=7)
+        entry = c.repair(tsv)
+        assert entry.standby_index == 0  # first stand-by used
+        assert c.redirect(tsv) == 0
+        assert c.state(0).repairs_left == 3
+
+    def test_repair_addr_tsv(self, geom):
+        c = TSVSwapController(geom)
+        tsv = TSVId(channel=2, tsv_class=TSVClass.ADDRESS, index=5)
+        assert c.repair(tsv).standby_index == 0
+
+    def test_channels_have_independent_pools(self, geom):
+        c = TSVSwapController(geom)
+        for ch in range(geom.channels):
+            c.repair(TSVId(channel=ch, tsv_class=TSVClass.DATA, index=9))
+        assert all(c.state(ch).repairs_used == 1 for ch in range(geom.channels))
+
+    def test_pool_exhaustion_raises(self, geom):
+        c = TSVSwapController(geom)
+        for i in range(4):
+            c.repair(TSVId(channel=0, tsv_class=TSVClass.DATA, index=10 + i))
+        with pytest.raises(CapacityError):
+            c.repair(TSVId(channel=0, tsv_class=TSVClass.DATA, index=20))
+        assert c.try_repair(
+            TSVId(channel=0, tsv_class=TSVClass.DATA, index=21)
+        ) is None
+        # Other channels unaffected.
+        assert c.try_repair(
+            TSVId(channel=1, tsv_class=TSVClass.DATA, index=20)
+        ) is not None
+
+    def test_faulty_standby_tsv_is_free_repair(self, geom):
+        """A stand-by TSV's payload is already replicated in metadata, so
+        its own failure consumes only itself."""
+        c = TSVSwapController(geom)
+        c.repair(TSVId(channel=0, tsv_class=TSVClass.DATA, index=64))
+        state = c.state(0)
+        assert 64 not in state.standby_pool
+        assert state.repairs_left == 3
+        # The remaining pool still serves other faults.
+        entry = c.repair(TSVId(channel=0, tsv_class=TSVClass.DATA, index=5))
+        assert entry.standby_index == 0
+
+    def test_double_repair_rejected(self, geom):
+        c = TSVSwapController(geom)
+        tsv = TSVId(channel=0, tsv_class=TSVClass.DATA, index=7)
+        c.repair(tsv)
+        with pytest.raises(ConfigurationError):
+            c.repair(tsv)
+
+    def test_validates_tsv(self, geom):
+        c = TSVSwapController(geom)
+        with pytest.raises(ConfigurationError):
+            c.repair(TSVId(channel=0, tsv_class=TSVClass.DATA, index=999))
+        with pytest.raises(ConfigurationError):
+            c.repair(TSVId(channel=99, tsv_class=TSVClass.DATA, index=0))
+
+    def test_fixed_rows_are_bit_inverse(self, geom):
+        lo, hi = TSVSwapController(geom).fixed_row_addresses()
+        assert lo ^ hi == geom.rows_per_bank - 1
+
+
+class TestReliabilityFilter:
+    def test_absorbs_up_to_capacity(self, geom):
+        faults = [
+            make_data_tsv_fault(geom, 0, 10 + i).at_time(float(i)) for i in range(4)
+        ]
+        visible, controller = apply_tsv_swap(faults, geom)
+        assert visible == []
+        assert controller.state(0).repairs_used == 4
+
+    def test_overflow_stays_visible(self, geom):
+        faults = [
+            make_data_tsv_fault(geom, 0, 10 + i).at_time(float(i)) for i in range(6)
+        ]
+        visible, _ = apply_tsv_swap(faults, geom)
+        assert len(visible) == 2
+        # The *latest* faults overflow (arrival order is honored).
+        assert {f.tsv_index for f in visible} == {14, 15}
+
+    def test_dram_faults_pass_through(self, geom):
+        dram = make_bit_fault(geom, 0, 0, 0, 0, Permanence.PERMANENT)
+        tsv = make_data_tsv_fault(geom, 0, 3)
+        visible, _ = apply_tsv_swap([dram, tsv], geom)
+        assert visible == [dram]
+
+    def test_addr_tsv_absorbed(self, geom):
+        visible, _ = apply_tsv_swap([make_addr_tsv_fault(geom, 1, 2)], geom)
+        assert visible == []
+
+    def test_custom_capacity(self, geom):
+        faults = [make_data_tsv_fault(geom, 0, 10 + i) for i in range(3)]
+        visible, _ = apply_tsv_swap(faults, geom, standby_count=2)
+        assert len(visible) == 1
