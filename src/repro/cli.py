@@ -30,6 +30,7 @@ from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
 from repro.stack.geometry import StackGeometry
 from repro.stack.striping import StripingPolicy
 from repro.workloads import PROFILES, rate_mode_traces
+from repro.workloads.generator import DEFAULT_CORES
 
 #: name -> factory(geometry) for every correctability model.
 SCHEMES: Dict[str, Callable[[StackGeometry], object]] = {
@@ -85,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--benchmark", choices=sorted(PROFILES), default="mcf")
     perf.add_argument("--requests", type=int, default=3000,
                       help="requests per core")
-    perf.add_argument("--cores", type=int, default=8)
+    perf.add_argument("--cores", type=int, default=DEFAULT_CORES)
     perf.add_argument("--seed", type=int, default=0)
     perf.add_argument(
         "--configs", nargs="+", choices=sorted(PERF_CONFIGS),

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet
 
+from repro import contracts
 from repro.core.dds import (
     DEFAULT_SPARE_BANKS,
     DEFAULT_SPARE_ROWS_PER_BANK,
@@ -21,7 +22,11 @@ from repro.core.dds import (
 )
 from repro.core.parity3dp import ParityND
 from repro.core.tsv_swap import DEFAULT_STANDBY_TSVS, TSVSwapController
-from repro.stack.geometry import SCRUB_INTERVAL_HOURS, StackGeometry
+from repro.stack.geometry import (
+    BITS_PER_BYTE,
+    SCRUB_INTERVAL_HOURS,
+    StackGeometry,
+)
 from repro.stack.striping import StripingPolicy
 
 
@@ -58,6 +63,17 @@ class CitadelConfig:
     #: Citadel's whole point: the line stays in one bank (§IV).
     striping: StripingPolicy = StripingPolicy.SAME_BANK
 
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.standby_tsvs, "standby_tsvs")
+        contracts.check_non_negative(
+            self.spare_rows_per_bank, "spare_rows_per_bank"
+        )
+        contracts.check_non_negative(self.spare_banks, "spare_banks")
+        contracts.require(
+            self.scrub_interval_hours > 0,
+            "scrub_interval_hours must be positive",
+        )
+
     # ------------------------------------------------------------------ #
     def correction_model(self) -> ParityND:
         """The parity correction model (3DP by default)."""
@@ -91,5 +107,5 @@ class CitadelConfig:
             parity_bank_fraction=model.storage_overhead_fraction(),
             sram_parity_bytes=model.sram_overhead_bytes(),
             sram_rrt_bytes=dds.rrt_overhead_bytes,
-            sram_brt_bytes=(brt_bits + 7) // 8,
+            sram_brt_bytes=(brt_bits + BITS_PER_BYTE - 1) // BITS_PER_BYTE,
         )

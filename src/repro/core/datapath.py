@@ -31,12 +31,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import contracts
 from repro.core.dds import DDSController
 from repro.core.tsv_swap import TSVSwapController
 from repro.core.memory_array import FaultyMemoryArray
 from repro.ecc.crc import crc32_with_address
 from repro.errors import ConfigurationError, GeometryError, UncorrectableError
 from repro.faults.types import Fault, FaultKind
+from repro.rng import make_rng
 from repro.stack.geometry import StackGeometry
 from repro.stack.tsv import TSVClass, TSVId
 
@@ -49,6 +51,11 @@ class DatapathStats:
     rows_spared: int = 0
     banks_spared: int = 0
     uncorrectable: int = 0
+
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.tsv_repairs, "tsv_repairs")
+        contracts.check_non_negative(self.rows_spared, "rows_spared")
+        contracts.check_non_negative(self.banks_spared, "banks_spared")
 
 
 @dataclass
@@ -67,12 +74,13 @@ class CitadelDatapath:
         rng: Optional[random.Random] = None,
         enable_tsv_swap: bool = True,
         enable_dds: bool = True,
+        seed: Optional[int] = None,
     ) -> None:
         self.geometry = geometry if geometry is not None else StackGeometry.small()
         g = self.geometry
         if g.metadata_dies != 1:
             raise ConfigurationError("the datapath needs exactly one metadata die")
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = make_rng(rng, seed)
         self.enable_tsv_swap = enable_tsv_swap
         self.enable_dds = enable_dds
 

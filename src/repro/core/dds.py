@@ -31,9 +31,10 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import contracts
 from repro.errors import ConfigurationError
 from repro.faults.types import Fault
-from repro.stack.geometry import StackGeometry
+from repro.stack.geometry import BITS_PER_BYTE, StackGeometry
 
 #: RRT provisioning: spare rows per bank (§VII-B).
 DEFAULT_SPARE_ROWS_PER_BANK = 4
@@ -55,6 +56,11 @@ class BankSparingState:
     rrt_entries_used: int = 0
     bank_spared: bool = False
     spare_bank_slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.faulty_rows_seen, "faulty_rows_seen")
+        contracts.check_non_negative(self.rrt_entries_used, "rrt_entries_used")
+        contracts.check_non_negative(self.spare_bank_slot, "spare_bank_slot")
 
 
 @dataclass
@@ -126,7 +132,7 @@ class DDSController:
         """RRT SRAM: 33 bits/entry, 4 entries per data bank (~1 KB)."""
         entry_bits = 1 + 16 + 16
         entries = self.spare_rows_per_bank * self.geometry.data_banks
-        return (entry_bits * entries + 7) // 8
+        return (entry_bits * entries + BITS_PER_BYTE - 1) // BITS_PER_BYTE
 
     # ------------------------------------------------------------------ #
     def process_scrub(
@@ -221,6 +227,15 @@ class DDSController:
         ):
             state.rrt_entries_used += demand
             self._row_spared[fault.uid] = fault
+            contracts.invariant(
+                state.rrt_entries_used <= self.spare_rows_per_bank,
+                "RRT budget exceeded: %d entries used for (die %d, bank %d) "
+                "with %d spare rows per bank",
+                state.rrt_entries_used,
+                die,
+                bank,
+                self.spare_rows_per_bank,
+            )
             return SparingDecision.ROW_SPARED
         return self._spare_bank(fault, die, bank, state)
 
@@ -240,6 +255,16 @@ class DDSController:
         self._brt[slot] = (die, bank)
         state.bank_spared = True
         state.spare_bank_slot = slot
+        contracts.invariant(
+            sum(1 for owner in self._brt if owner is not None) <= self.spare_banks,
+            "BRT overcommitted: more owners than %d spare banks",
+            self.spare_banks,
+        )
+        contracts.invariant(
+            len(self._brt) == self.spare_banks,
+            "BRT size drifted from the provisioned %d slots",
+            self.spare_banks,
+        )
         self._bank_spared[fault.uid] = (
             fault,
             die * self.geometry.banks_per_die + bank,

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, List, Sequence
 
+from repro import contracts
 from repro.ecc.base import CorrectionModel
 from repro.errors import ConfigurationError
 from repro.faults.types import Fault
@@ -120,6 +121,12 @@ class ParityND(CorrectionModel):
                 else:
                     survivors.append(fault)
             live = survivors
+        if contracts.enabled():
+            original = {f.uid for f in faults}
+            contracts.ensure(
+                all(f.uid in original for f in live),
+                "peeling produced survivors absent from the input set",
+            )
         return live
 
     def _peelable(self, fault: Fault, others: Sequence[Fault]) -> bool:

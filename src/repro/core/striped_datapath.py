@@ -30,6 +30,7 @@ from repro.errors import (
     UncorrectableError,
 )
 from repro.faults.types import Fault
+from repro.rng import make_rng
 from repro.stack.geometry import StackGeometry
 
 
@@ -47,6 +48,7 @@ class StripedDatapath:
         self,
         geometry: Optional[StackGeometry] = None,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self.geometry = geometry if geometry is not None else StackGeometry.small()
         g = self.geometry
@@ -56,7 +58,7 @@ class StripedDatapath:
             raise ConfigurationError(
                 "line_bytes must divide evenly across the data dies"
             )
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = make_rng(rng, seed)
         self.array = FaultyMemoryArray(g)
         self.chunk_bytes = g.line_bytes // g.data_dies
         self.rs = ReedSolomon(n=g.data_dies + 1, k=g.data_dies)

@@ -1,3 +1,4 @@
+# reprolint: disable-file=REPRO002 -- 8/256 here are CRC word widths, not geometry
 """CRC-32 — the error-detection layer of Citadel (§VI, Figure 6).
 
 Citadel attaches a 32-bit cyclic redundancy check to every 512-bit cache

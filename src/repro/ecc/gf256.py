@@ -1,3 +1,4 @@
+# reprolint: disable-file=REPRO002 -- 8/256 here are field parameters, not geometry
 """GF(2^8) arithmetic — the field under the 8-bit symbol codes.
 
 The paper's striped baseline is "a strong 8-bit symbol based code

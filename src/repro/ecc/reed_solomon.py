@@ -26,6 +26,9 @@ from repro.ecc.gf256 import (
 )
 from repro.errors import ConfigurationError, UncorrectableError
 
+#: Default stripe width: eight data symbols (one per bank/channel unit).
+DEFAULT_DATA_SYMBOLS = 8
+
 
 class ReedSolomon:
     """Systematic RS(n, k) over GF(256)."""
@@ -200,7 +203,9 @@ class ReedSolomon:
             word[pos] ^= magnitude
 
 
-def chipkill_code(data_symbols: int = 8, check_symbols: int = 1) -> ReedSolomon:
+def chipkill_code(
+    data_symbols: int = DEFAULT_DATA_SYMBOLS, check_symbols: int = 1
+) -> ReedSolomon:
     """The paper's per-stripe configuration: one symbol per bank/channel.
 
     With a single check symbol the code is erasure-only (it can rebuild

@@ -33,6 +33,9 @@ from repro.faults.types import Fault
 from repro.stack.geometry import StackGeometry
 from repro.stack.striping import StripingPolicy
 
+#: The paper's 8+1 layout: eight data symbol units plus one check unit.
+DEFAULT_DATA_UNITS = 8
+
 
 class SymbolCode(CorrectionModel):
     """Single-symbol-correct code over a striping policy's units."""
@@ -41,7 +44,7 @@ class SymbolCode(CorrectionModel):
         self,
         geometry: StackGeometry,
         policy: StripingPolicy,
-        data_units: int = 8,
+        data_units: int = DEFAULT_DATA_UNITS,
     ) -> None:
         super().__init__(geometry)
         self.policy = policy

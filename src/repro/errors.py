@@ -28,3 +28,12 @@ class UncorrectableError(ReproError):
 
 class SimulationError(ReproError):
     """A simulator reached an inconsistent internal state."""
+
+
+class ContractViolation(ReproError):
+    """A runtime contract (require/ensure/invariant) was violated.
+
+    Raised by :mod:`repro.contracts` when checking is enabled; indicates a
+    bug in the library (or a caller handing it inconsistent state), never
+    a recoverable condition.
+    """

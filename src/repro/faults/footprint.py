@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, Optional
 
+from repro import contracts
 from repro.errors import ConfigurationError
 from repro.stack.geometry import StackGeometry
 
@@ -122,7 +123,16 @@ class RangeMask:
             return None
         mask = self.mask & other.mask
         base = (self.base | other.base) & ~mask
-        return RangeMask(base=base, mask=mask, width=self.width)
+        result = RangeMask(base=base, mask=mask, width=self.width)
+        if contracts.enabled():
+            contracts.ensure(
+                self.covers(result) and other.covers(result),
+                "intersection %r escapes its operands %r and %r",
+                result,
+                self,
+                other,
+            )
+        return result
 
     def intersection_size(self, other: "RangeMask") -> int:
         inter = self.intersection(other)

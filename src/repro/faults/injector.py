@@ -40,6 +40,7 @@ from repro.faults.types import (
     make_subarray_fault,
     make_word_fault,
 )
+from repro.rng import make_rng
 from repro.stack.geometry import LIFETIME_HOURS, StackGeometry
 
 _FIT_TO_PER_HOUR = 1e-9
@@ -60,10 +61,11 @@ class FaultInjector:
         geometry: StackGeometry,
         rates: FailureRates,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self.geometry = geometry
         self.rates = rates
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = make_rng(rng, seed)
         self._entries = self._build_entries()
         self._total_rate = sum(e.rate_per_hour for e in self._entries)
         self._weights = [e.rate_per_hour for e in self._entries]

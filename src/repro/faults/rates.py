@@ -127,7 +127,7 @@ class FailureRates:
 
     @classmethod
     def paper_baseline(
-        cls, tsv_device_fit: float = 0.0, **overrides
+        cls, tsv_device_fit: float = 0.0, **overrides: object
     ) -> "FailureRates":
         """Table I rates with a chosen TSV device FIT."""
         return cls(

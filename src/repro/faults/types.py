@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro import contracts
 from repro.errors import ConfigurationError
 from repro.faults.footprint import Footprint, RangeMask
 from repro.stack.geometry import StackGeometry
@@ -74,6 +75,16 @@ class Fault:
     #: Index of the faulty TSV within its channel (TSV faults only).
     tsv_index: Optional[int] = None
     uid: int = field(default_factory=lambda: next(_fault_ids))
+
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.time_hours, "time_hours")
+        contracts.check_non_negative(self.channel, "channel")
+        contracts.check_non_negative(self.tsv_index, "tsv_index")
+        contracts.require(
+            (self.channel is None) == (not self.kind.is_tsv),
+            "channel must be set exactly for TSV faults (kind=%s)",
+            self.kind.value,
+        )
 
     @property
     def is_transient(self) -> bool:

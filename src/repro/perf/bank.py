@@ -9,8 +9,9 @@ for FR-FCFS) by reserving the bank and then a bus slot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
+from repro import contracts
 from repro.perf.timing import DRAMTimings
 
 
@@ -24,6 +25,10 @@ class BankState:
     activations: int = 0
     row_hits: int = 0
     row_misses: int = 0
+
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.open_row, "open_row")
+        contracts.check_non_negative(self.busy_until, "busy_until")
 
     def access(self, at: int, row: int, is_write: bool) -> int:
         """Serve one column access; returns the cycle data is available.
@@ -57,11 +62,12 @@ class ChannelState:
 
     timings: DRAMTimings
     num_banks: int
-    banks: list = field(default_factory=list)
+    banks: List[BankState] = field(default_factory=list)
     bus_free_at: int = 0
     bus_busy_cycles: int = 0
 
     def __post_init__(self) -> None:
+        contracts.require(self.num_banks > 0, "channel needs at least one bank")
         if not self.banks:
             self.banks = [BankState(self.timings) for _ in range(self.num_banks)]
 

@@ -16,6 +16,11 @@ from typing import Hashable, List
 
 from repro.errors import ConfigurationError
 
+#: Baseline shared LLC of Table II: 8 MB, 8-way, 64 B lines.
+DEFAULT_LLC_CAPACITY_BYTES = 8 << 20
+DEFAULT_LLC_WAYS = 8
+DEFAULT_LINE_BYTES = 64
+
 
 class LRUCache:
     """Set-associative LRU cache of line-sized entries."""
@@ -30,8 +35,9 @@ class LRUCache:
         self.misses = 0
 
     @classmethod
-    def like_llc(cls, capacity_bytes: int = 8 << 20, line_bytes: int = 64,
-                 ways: int = 8) -> "LRUCache":
+    def like_llc(cls, capacity_bytes: int = DEFAULT_LLC_CAPACITY_BYTES,
+                 line_bytes: int = DEFAULT_LINE_BYTES,
+                 ways: int = DEFAULT_LLC_WAYS) -> "LRUCache":
         """The baseline 8 MB, 8-way shared LLC of Table II."""
         lines = capacity_bytes // line_bytes
         return cls(num_sets=lines // ways, ways=ways)

@@ -18,6 +18,7 @@ and 16 normalize their bars.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.stack.geometry import StackGeometry
@@ -69,12 +70,12 @@ class PowerModel:
         self,
         geometry: StackGeometry,
         params: PowerParams = PowerParams(),
-        line_bytes: int = 64,
+        line_bytes: Optional[int] = None,
         stacks: int = 2,
     ) -> None:
         self.geometry = geometry
         self.params = params
-        self.line_bytes = line_bytes
+        self.line_bytes = geometry.line_bytes if line_bytes is None else line_bytes
         self.stacks = stacks
 
     def active_energy_nj(self, counters: EnergyCounters) -> float:

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from repro import contracts
 from repro.errors import ConfigurationError
 from repro.perf.bank import ChannelState
-from repro.perf.llc import LRUCache
+from repro.perf.llc import DEFAULT_LLC_CAPACITY_BYTES, DEFAULT_LLC_WAYS, LRUCache
 from repro.perf.power import EnergyCounters
 from repro.perf.timing import DRAMTimings
 from repro.stack.address import LineLocation
@@ -39,10 +40,18 @@ class PerfConfig:
     #: writeback reads and rewrites the parity line in memory.
     parity_caching: bool = True
     mlp_per_core: int = 4
-    llc_capacity_bytes: int = 8 << 20
-    llc_ways: int = 8
+    llc_capacity_bytes: int = DEFAULT_LLC_CAPACITY_BYTES
+    llc_ways: int = DEFAULT_LLC_WAYS
     #: Number of stacks in the system (Table II: 2 x 8 GB).
     stacks: int = 2
+
+    def __post_init__(self) -> None:
+        contracts.require(self.mlp_per_core > 0, "mlp_per_core must be positive")
+        contracts.require(
+            self.llc_capacity_bytes > 0 and self.llc_ways > 0,
+            "LLC capacity and associativity must be positive",
+        )
+        contracts.require(self.stacks > 0, "need at least one stack")
 
     def label(self) -> str:
         if not self.parity_protection:
@@ -68,6 +77,11 @@ class PerfResult:
     row_hits: int = 0
     row_misses: int = 0
     core_finish_cycles: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.exec_cycles, "exec_cycles")
+        contracts.check_non_negative(self.row_hits, "row_hits")
+        contracts.check_non_negative(self.row_misses, "row_misses")
 
     @property
     def parity_hit_rate(self) -> float:
@@ -107,7 +121,9 @@ class SystemSimulator:
             for _ in range(config.stacks * geometry.channels)
         ]
         llc = LRUCache(
-            num_sets=config.llc_capacity_bytes // 64 // config.llc_ways,
+            num_sets=config.llc_capacity_bytes
+            // geometry.line_bytes
+            // config.llc_ways,
             ways=config.llc_ways,
         )
         result = PerfResult(label=config.label(), exec_cycles=0,
@@ -208,7 +224,7 @@ class SystemSimulator:
         Across-Channels access costs one slot on every channel.
         """
         completion = at
-        per_channel_data: dict = {}
+        per_channel_data: Dict[int, int] = {}
         for sub in sub_accesses(self.config.striping, self.geometry, home):
             bank = channels[sub.channel].banks[sub.bank]
             data_at = bank.access(at, sub.row, is_write)

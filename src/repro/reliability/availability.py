@@ -19,11 +19,13 @@ This module quantifies that argument:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.faults.rates import FailureRates
 from repro.faults.types import FaultKind, Permanence
 from repro.stack.geometry import (
+    BITS_PER_BYTE,
     LIFETIME_HOURS,
     SCRUB_INTERVAL_HOURS,
     StackGeometry,
@@ -79,7 +81,7 @@ class AvailabilityModel:
         """Expected fraction of memory resident in unspared permanent-fault
         footprints at end of life (faults accumulate for T/2 on average)."""
         g = self.geometry
-        total_bits = g.data_bytes * 8
+        total_bits = g.data_bytes * BITS_PER_BYTE
         expected_bad_bits = 0.0
         for kind in self.rates.die_fit:
             lam = (
@@ -114,7 +116,7 @@ class AvailabilityModel:
     def unspared_slowdown(
         self,
         accesses_per_second: float,
-        faulty_fraction: float = None,  # type: ignore[assignment]
+        faulty_fraction: Optional[float] = None,
     ) -> float:
         """Throughput multiplier when corrections fire on every access to
         an unspared faulty region.

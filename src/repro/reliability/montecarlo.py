@@ -26,8 +26,9 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import contracts
 from repro.core.dds import DDSController
 from repro.core.tsv_swap import apply_tsv_swap
 from repro.ecc.base import CorrectionModel
@@ -35,6 +36,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.rates import FailureRates
 from repro.faults.types import Fault
 from repro.reliability.results import ReliabilityResult, SparingStats
+from repro.rng import make_rng
 from repro.stack.geometry import (
     LIFETIME_HOURS,
     SCRUB_INTERVAL_HOURS,
@@ -57,6 +59,21 @@ class EngineConfig:
     #: kinds at the moment of failure (e.g. "column+subarray").
     collect_failure_modes: bool = False
 
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.tsv_swap_standby, "tsv_swap_standby")
+        contracts.check_non_negative(self.spare_rows_per_bank, "spare_rows_per_bank")
+        contracts.check_non_negative(self.spare_banks, "spare_banks")
+        contracts.require(
+            self.scrub_interval_hours > 0,
+            "scrub_interval_hours must be positive, got %r",
+            self.scrub_interval_hours,
+        )
+        contracts.require(
+            self.lifetime_hours > 0,
+            "lifetime_hours must be positive, got %r",
+            self.lifetime_hours,
+        )
+
 
 class LifetimeSimulator:
     """Monte-Carlo simulator for one (scheme, mitigation, rates) tuple."""
@@ -68,12 +85,13 @@ class LifetimeSimulator:
         model: CorrectionModel,
         config: Optional[EngineConfig] = None,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self.geometry = geometry
         self.rates = rates
         self.model = model
         self.config = config if config is not None else EngineConfig()
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = make_rng(rng, seed)
         self.injector = FaultInjector(geometry, rates, self.rng)
 
     # ------------------------------------------------------------------ #
@@ -102,7 +120,7 @@ class LifetimeSimulator:
             strata_min, self.config.lifetime_hours
         ) if strata_min > 0 else 1.0
         failure_times: List[float] = []
-        modes: Counter = Counter()
+        modes: Counter[str] = Counter()
         for _ in range(trials):
             outcome = self._run_trial(strata_min, stats)
             if outcome is not None:
@@ -199,7 +217,7 @@ class LifetimeSimulator:
         (feeds the Figure 17 histogram and Table III)."""
         from repro.core.dds import rows_required
 
-        per_bank: dict = {}
+        per_bank: Dict[Tuple[int, int], int] = {}
         for fault in faults:
             if not fault.is_permanent or fault.kind.is_tsv:
                 continue

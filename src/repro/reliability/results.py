@@ -48,7 +48,7 @@ class ReliabilityResult:
     sparing: Optional[SparingStats] = None
     failure_times_hours: List[float] = field(default_factory=list)
     #: Failure-mode attribution: "kind+kind" -> count (when collected).
-    failure_modes: Counter = field(default_factory=Counter)
+    failure_modes: Counter[str] = field(default_factory=Counter)
 
     @property
     def failure_probability(self) -> float:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import contracts
 from repro.errors import GeometryError
 from repro.stack.geometry import StackGeometry
 
@@ -23,6 +24,12 @@ class LineLocation:
     bank: int
     row: int
     slot: int  # line index within the 2 KB row (0..lines_per_row-1)
+
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.channel, "channel")
+        contracts.check_non_negative(self.bank, "bank")
+        contracts.check_non_negative(self.row, "row")
+        contracts.check_non_negative(self.slot, "slot")
 
 
 class AddressMapper:
@@ -57,7 +64,16 @@ class AddressMapper:
         rest //= geometry.banks_per_die
         slot = rest % geometry.lines_per_row
         row = rest // geometry.lines_per_row
-        return LineLocation(channel=channel, bank=bank, row=row, slot=slot)
+        location = LineLocation(channel=channel, bank=bank, row=row, slot=slot)
+        if contracts.enabled():
+            contracts.ensure(
+                self.to_address(location) == line_address,
+                "address map round-trip broken: %d -> %r -> %d",
+                line_address,
+                location,
+                self.to_address(location),
+            )
+        return location
 
     def to_address(self, location: LineLocation) -> int:
         """Encode a physical location back into a linear line address."""
@@ -75,7 +91,14 @@ class AddressMapper:
             )
         rest = location.row * geometry.lines_per_row + location.slot
         rest = rest * geometry.banks_per_die + location.bank
-        return rest * self.total_channels + location.channel
+        address = rest * self.total_channels + location.channel
+        contracts.ensure(
+            0 <= address < self.num_lines,
+            "encoded address %d outside [0, %d)",
+            address,
+            self.num_lines,
+        )
+        return address
 
     def col_bit_range(self, slot: int) -> range:
         """Bit offsets within the row occupied by line ``slot``."""

@@ -26,6 +26,11 @@ LIFETIME_HOURS = 7 * 365 * 24
 #: Scrubbing interval used in the paper's FaultSim configuration (§III-B).
 SCRUB_INTERVAL_HOURS = 12.0
 
+#: Bits per byte — the one bits-scale constant shared by capacity and
+#: SRAM-overhead arithmetic throughout the library (REPRO002 exempts this
+#: module, which owns all size constants).
+BITS_PER_BYTE = 8
+
 
 @dataclass(frozen=True)
 class StackGeometry:
@@ -184,7 +189,7 @@ class StackGeometry:
     # Convenience constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def small(cls, **overrides) -> "StackGeometry":
+    def small(cls, **overrides: int) -> "StackGeometry":
         """A scaled-down geometry for functional simulation and tests.
 
         4 data dies x 4 banks x 64 rows x 256-byte rows (64-byte lines), 16
@@ -205,6 +210,6 @@ class StackGeometry:
         params.update(overrides)
         return cls(**params)
 
-    def with_(self, **overrides) -> "StackGeometry":
+    def with_(self, **overrides: int) -> "StackGeometry":
         """Return a copy of this geometry with selected fields replaced."""
         return replace(self, **overrides)

@@ -18,6 +18,7 @@ import enum
 from dataclasses import dataclass
 from typing import List
 
+from repro import contracts
 from repro.errors import ConfigurationError
 from repro.stack.geometry import StackGeometry
 
@@ -34,6 +35,10 @@ class TSVId:
     channel: int
     tsv_class: TSVClass
     index: int
+
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.channel, "channel")
+        contracts.check_non_negative(self.index, "index")
 
 
 def validate_tsv(geometry: StackGeometry, tsv: TSVId) -> None:

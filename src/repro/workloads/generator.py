@@ -10,15 +10,22 @@ striping policy expands them at simulation time.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.perf.timing import CPU_CYCLES_PER_MEM_CYCLE
+from repro.rng import make_rng
 from repro.stack.address import AddressMapper, LineLocation
 from repro.stack.geometry import StackGeometry
 from repro.workloads.profiles import PROFILES, WorkloadProfile
 from repro.workloads.trace import MemoryRequest, Trace
+
+#: Writeback runs start a bounded distance behind the miss stream: the
+#: eviction window, in cache lines (a model parameter, not geometry).
+_WRITEBACK_WINDOW_LINES = 256
+
+#: Cores in the baseline system (Table II), used by rate mode.
+DEFAULT_CORES = 8
 
 
 class TraceGenerator:
@@ -42,7 +49,7 @@ class TraceGenerator:
     ) -> None:
         self.profile = profile
         self.geometry = geometry
-        self.rng = random.Random(seed)
+        self.rng = make_rng(seed=seed)
         self.mapper = AddressMapper(geometry, stacks=stacks)
         self._address: Optional[int] = None
 
@@ -108,7 +115,7 @@ class TraceGenerator:
                 # Evictions trail the miss stream: start the run at a
                 # random earlier line of the current region.
                 base = self._address if self._address is not None else 0
-                wb_address = max(0, base - self.rng.randrange(256))
+                wb_address = max(0, base - self.rng.randrange(_WRITEBACK_WINDOW_LINES))
                 requests.append(
                     MemoryRequest(
                         gap_cycles=self._next_gap(),
@@ -134,7 +141,7 @@ class TraceGenerator:
 def rate_mode_traces(
     name: str,
     geometry: StackGeometry,
-    cores: int = 8,
+    cores: int = DEFAULT_CORES,
     requests_per_core: int = 2000,
     seed: int = 0,
     stacks: int = 2,

@@ -1,0 +1,1 @@
+"""Developer tooling for the Citadel reproduction (not shipped with repro)."""

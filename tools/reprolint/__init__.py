@@ -1,0 +1,57 @@
+"""reprolint — domain-aware static analysis for the Citadel reproduction.
+
+The reproduction's headline numbers are statistical outputs of a
+Monte-Carlo engine: a silent bug in RNG seeding, footprint algebra or
+FIT-unit arithmetic corrupts every figure while the test suite stays
+green.  ``reprolint`` encodes those domain invariants as AST checks that
+run over ``src``, ``tests`` and ``benchmarks`` in CI:
+
+========  ==============================================================
+REPRO001  no unseeded ``random.Random()`` / bare ``random.*`` module
+          calls outside CLI entry points (Monte-Carlo determinism)
+REPRO002  no magic geometry literals (8, 64, 256, 65536, ...) outside
+          ``stack/geometry.py`` — derive them from ``StackGeometry``
+REPRO003  no float ``==`` / ``!=`` in ``reliability/`` and ``ecc/``
+          probability math — use ``math.isclose`` or an explicit
+          tolerance
+REPRO004  no mutable default arguments
+REPRO005  FIT-vs-probability unit discipline: never add, subtract or
+          compare a FIT-named quantity against a per-hour probability
+          without an explicit conversion
+REPRO006  every ``@dataclass`` with physical-range integer fields
+          (dies, banks, rows, cols, channels, ...) must validate them
+          in ``__post_init__``
+========  ==============================================================
+
+Violations are suppressed per line with ``# reprolint: disable=REPRO00N``
+(or ``# reprolint: disable`` for all rules), and per file with a
+``# reprolint: disable-file=REPRO00N`` comment in the first ten lines.
+
+Usage::
+
+    python -m tools.reprolint src tests benchmarks
+    python -m tools.reprolint --format json src
+    python -m tools.reprolint --list-rules
+"""
+
+from tools.reprolint.engine import (
+    Checker,
+    FileContext,
+    Finding,
+    LintRunner,
+    lint_paths,
+)
+from tools.reprolint.rules import ALL_CHECKERS, checker_by_code
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "LintRunner",
+    "checker_by_code",
+    "lint_paths",
+    "__version__",
+]

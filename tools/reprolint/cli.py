@@ -1,0 +1,92 @@
+"""Command-line interface: ``python -m tools.reprolint src tests benchmarks``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from tools.reprolint.engine import LintRunner
+from tools.reprolint.reporters import JsonReporter, TextReporter, render_rule_list
+from tools.reprolint.rules import ALL_CHECKERS, checker_by_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Domain-aware static analysis for the Citadel reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="root for relative paths and rule path scoping (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for line in render_rule_list(ALL_CHECKERS):
+            print(line)
+        return 0
+
+    if args.select:
+        checkers = []
+        for code in (c.strip() for c in args.select.split(",")):
+            cls = checker_by_code(code)
+            if cls is None:
+                print(f"reprolint: unknown rule code {code!r}", file=sys.stderr)
+                return 2
+            checkers.append(cls())
+    else:
+        checkers = [cls() for cls in ALL_CHECKERS]
+
+    paths: List[Path] = list(args.paths) or [
+        Path("src"),
+        Path("tests"),
+        Path("benchmarks"),
+    ]
+    runner = LintRunner(checkers, root=args.root)
+    try:
+        findings = runner.run(paths)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    reporter = (
+        JsonReporter(sys.stdout)
+        if args.format == "json"
+        else TextReporter(sys.stdout)
+    )
+    reporter.report(findings)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

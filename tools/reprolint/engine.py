@@ -1,0 +1,243 @@
+"""Core machinery of reprolint: findings, checkers, suppression, walking.
+
+The engine is rule-agnostic.  A rule is a :class:`Checker` subclass that
+declares a ``code``/``name``/``description``, optional ``include`` /
+``exclude`` path globs, and yields :class:`Finding` objects from
+:meth:`Checker.check`.  The :class:`LintRunner` walks the requested files,
+parses each one exactly once, dispatches to every applicable rule, and
+filters findings through the suppression comments collected from the
+token stream.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Matches ``# reprolint: disable=REPRO001,REPRO002`` and bare
+#: ``# reprolint: disable`` (which suppresses every rule on the line).
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable-file|disable)\s*(?:=\s*(?P<codes>[A-Z0-9, ]+))?"
+)
+
+#: File-level suppressions must appear within the first N physical lines.
+_FILE_SUPPRESS_WINDOW = 10
+
+#: Marker meaning "all rules" in a suppression set.
+ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may want to know about one source file."""
+
+    path: Path
+    #: POSIX-style path relative to the lint root (used for include globs).
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: line number -> set of suppressed codes ("*" suppresses all).
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: codes suppressed for the whole file ("*" suppresses all).
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        if ALL_RULES in self.file_suppressions or code in self.file_suppressions:
+            return True
+        codes = self.line_suppressions.get(line)
+        return codes is not None and (ALL_RULES in codes or code in codes)
+
+
+class Checker:
+    """Base class for reprolint rules.
+
+    Subclasses set ``code`` (e.g. ``"REPRO001"``), ``name`` (a short
+    kebab-case slug), ``description``, and optionally ``include`` /
+    ``exclude`` glob patterns matched against the file's POSIX relpath.
+    ``check`` yields findings; the engine applies suppressions.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    #: fnmatch globs; empty means "every file".
+    include: Tuple[str, ...] = ()
+    #: fnmatch globs; matched files are skipped even if included.
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.include and not any(
+            fnmatch.fnmatch(relpath, pat) for pat in self.include
+        ):
+            return False
+        return not any(fnmatch.fnmatch(relpath, pat) for pat in self.exclude)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at an AST node."""
+        return Finding(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+def collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract per-line and per-file suppression sets from comments.
+
+    Uses the token stream (not a regex over raw lines) so that ``#``
+    characters inside string literals never register as comments.
+    """
+    line_suppressions: Dict[int, Set[str]] = {}
+    file_suppressions: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            raw = match.group("codes")
+            codes = (
+                {c.strip() for c in raw.split(",") if c.strip()}
+                if raw
+                else {ALL_RULES}
+            )
+            if match.group("scope") == "disable-file":
+                if tok.start[0] <= _FILE_SUPPRESS_WINDOW:
+                    file_suppressions |= codes
+            else:
+                line_suppressions.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass  # the AST parse will report the real syntax problem
+    return line_suppressions, file_suppressions
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in candidate.parts
+            ):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+class LintRunner:
+    """Runs a set of checkers over a set of paths."""
+
+    def __init__(
+        self,
+        checkers: Sequence[Checker],
+        root: Optional[Path] = None,
+    ) -> None:
+        self.checkers = list(checkers)
+        self.root = (root if root is not None else Path.cwd()).resolve()
+
+    def _relpath(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        relpath = self._relpath(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    code="REPRO000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        line_supp, file_supp = collect_suppressions(source)
+        ctx = FileContext(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            line_suppressions=line_supp,
+            file_suppressions=file_supp,
+        )
+        findings: List[Finding] = []
+        for checker in self.checkers:
+            if not checker.applies_to(relpath):
+                continue
+            for finding in checker.check(ctx):
+                if not ctx.is_suppressed(finding.line, finding.code):
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return findings
+
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.lint_file(path))
+        return findings
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    checkers: Optional[Sequence[Checker]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Convenience wrapper used by tests and the CLI."""
+    if checkers is None:
+        from tools.reprolint.rules import ALL_CHECKERS
+
+        checkers = [cls() for cls in ALL_CHECKERS]
+    return LintRunner(checkers, root=root).run(list(paths))

@@ -1,0 +1,56 @@
+"""Output formatting for reprolint findings."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import IO, List, Sequence, Type
+
+from tools.reprolint.engine import Checker, Finding
+
+
+class TextReporter:
+    """Human-readable ``path:line:col CODE message`` lines + summary."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+
+    def report(self, findings: Sequence[Finding]) -> None:
+        for finding in findings:
+            self.stream.write(finding.render() + "\n")
+        if findings:
+            by_code = Counter(f.code for f in findings)
+            summary = ", ".join(
+                f"{code}: {count}" for code, count in sorted(by_code.items())
+            )
+            self.stream.write(
+                f"\nreprolint: {len(findings)} finding(s) ({summary})\n"
+            )
+        else:
+            self.stream.write("reprolint: clean\n")
+
+
+class JsonReporter:
+    """Machine-readable report for CI annotation tooling."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+
+    def report(self, findings: Sequence[Finding]) -> None:
+        payload = {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+            "by_code": dict(Counter(f.code for f in findings)),
+        }
+        json.dump(payload, self.stream, indent=2, sort_keys=True)
+        self.stream.write("\n")
+
+
+def render_rule_list(checkers: Sequence[Type[Checker]]) -> List[str]:
+    """One line per rule for ``--list-rules``."""
+    lines = []
+    for cls in checkers:
+        scope = ", ".join(cls.include) if cls.include else "all files"
+        lines.append(f"{cls.code}  {cls.name}  [{scope}]")
+        lines.append(f"    {cls.description}")
+    return lines

@@ -1,0 +1,48 @@
+"""Rule registry for reprolint.
+
+Each rule lives in its own module and registers by being listed in
+``ALL_CHECKERS``.  Adding a rule = write a :class:`~tools.reprolint.engine.Checker`
+subclass, import it here, append it to the tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+from tools.reprolint.engine import Checker
+from tools.reprolint.rules.repro001_rng import UnseededRandomChecker
+from tools.reprolint.rules.repro002_geometry import MagicGeometryLiteralChecker
+from tools.reprolint.rules.repro003_floateq import FloatEqualityChecker
+from tools.reprolint.rules.repro004_mutable_defaults import MutableDefaultChecker
+from tools.reprolint.rules.repro005_units import FitUnitDisciplineChecker
+from tools.reprolint.rules.repro006_dataclass_validation import (
+    DataclassValidationChecker,
+)
+
+ALL_CHECKERS: Tuple[Type[Checker], ...] = (
+    UnseededRandomChecker,
+    MagicGeometryLiteralChecker,
+    FloatEqualityChecker,
+    MutableDefaultChecker,
+    FitUnitDisciplineChecker,
+    DataclassValidationChecker,
+)
+
+
+def checker_by_code(code: str) -> Optional[Type[Checker]]:
+    for cls in ALL_CHECKERS:
+        if cls.code == code:
+            return cls
+    return None
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "checker_by_code",
+    "UnseededRandomChecker",
+    "MagicGeometryLiteralChecker",
+    "FloatEqualityChecker",
+    "MutableDefaultChecker",
+    "FitUnitDisciplineChecker",
+    "DataclassValidationChecker",
+]

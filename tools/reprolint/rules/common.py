@@ -1,0 +1,75 @@
+"""Shared AST helpers for reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Optional, Set
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def name_tokens(identifier: str) -> FrozenSet[str]:
+    """Lower-case ``snake_case`` tokens of an identifier."""
+    return frozenset(tok for tok in identifier.lower().split("_") if tok)
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The identifier a value expression refers to, if any.
+
+    ``rates.tsv_device_fit`` -> ``tsv_device_fit``; ``lam`` -> ``lam``.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def module_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Names under which ``module`` is importable in this file.
+
+    Covers ``import random``, ``import random as rnd`` and (for the
+    sub-module case) ``import numpy.random as npr``.
+    """
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases
+
+
+def imported_names(tree: ast.Module, module: str) -> Set[str]:
+    """Local names bound by ``from module import x [as y]``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def decorator_matches(node: ast.expr, *names: str) -> bool:
+    """True if a decorator expression is one of ``names`` (bare or called).
+
+    Matches ``@dataclass``, ``@dataclass(frozen=True)``,
+    ``@dataclasses.dataclass(...)`` etc.
+    """
+    if isinstance(node, ast.Call):
+        node = node.func
+    dotted = dotted_name(node)
+    if dotted is None:
+        return False
+    last = dotted.split(".")[-1]
+    return dotted in names or last in names

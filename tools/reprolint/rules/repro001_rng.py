@@ -1,0 +1,132 @@
+"""REPRO001 — Monte-Carlo determinism: no unseeded randomness.
+
+Every stochastic component of the reproduction (fault injector, lifetime
+simulator, trace generator, functional datapaths) must draw from an
+explicitly seeded generator that callers can thread through, so that two
+runs with the same seed are bit-identical.  This rule flags:
+
+* ``random.Random()`` constructed with no seed argument;
+* any call through the ``random`` *module* (``random.random()``,
+  ``random.randrange(...)``, ``random.seed(...)``, ...) — module-level
+  calls share hidden global state and break run isolation even when
+  seeded;
+* ``numpy.random.default_rng()`` / ``numpy.random.RandomState()`` with
+  no seed, and any call to a legacy ``numpy.random.*`` sampling function
+  (global-state for the same reason).
+
+CLI entry points (``cli.py``, ``__main__.py``) are exempt: that is where
+a user-provided seed legitimately enters the system.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from tools.reprolint.engine import Checker, FileContext, Finding
+from tools.reprolint.rules.common import dotted_name, imported_names, module_aliases
+
+#: numpy.random constructors that are fine *when given a seed*.
+_NUMPY_CONSTRUCTORS = {"default_rng", "RandomState", "Generator", "SeedSequence"}
+
+
+class UnseededRandomChecker(Checker):
+    code = "REPRO001"
+    name = "unseeded-random"
+    description = (
+        "unseeded random.Random() / bare random.* module calls break "
+        "Monte-Carlo determinism; thread a seeded generator instead"
+    )
+    exclude = ("*cli.py", "*__main__.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        random_aliases = module_aliases(ctx.tree, "random")
+        numpy_aliases = module_aliases(ctx.tree, "numpy")
+        numpy_random_aliases = module_aliases(ctx.tree, "numpy.random")
+        random_class_names = {
+            name
+            for name in imported_names(ctx.tree, "random")
+            if name in ("Random", "SystemRandom")
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(
+                ctx,
+                node,
+                random_aliases,
+                numpy_aliases,
+                numpy_random_aliases,
+                random_class_names,
+            )
+
+    # ------------------------------------------------------------------ #
+    def _check_call(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        random_aliases: Set[str],
+        numpy_aliases: Set[str],
+        numpy_random_aliases: Set[str],
+        random_class_names: Set[str],
+    ) -> Iterator[Finding]:
+        func = node.func
+        has_args = bool(node.args or node.keywords)
+
+        # Bare ``Random()`` from ``from random import Random``.
+        if isinstance(func, ast.Name) and func.id in random_class_names:
+            if not has_args:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "random.Random() constructed without a seed; pass an "
+                    "explicit seed or accept an rng parameter",
+                )
+            return
+
+        if not isinstance(func, ast.Attribute):
+            return
+        owner = dotted_name(func.value)
+        if owner is None:
+            return
+
+        # Calls through the stdlib ``random`` module.
+        if owner in random_aliases:
+            if func.attr in ("Random", "SystemRandom"):
+                if not has_args:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"random.{func.attr}() constructed without a seed; "
+                        "pass an explicit seed or accept an rng parameter",
+                    )
+            else:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-level random.{func.attr}() uses hidden global "
+                    "state; use a seeded random.Random instance",
+                )
+            return
+
+        # Calls through ``numpy.random`` (either spelled ``np.random.x``
+        # or via ``import numpy.random as npr``).
+        is_numpy_random = owner in numpy_random_aliases or any(
+            owner == f"{alias}.random" for alias in numpy_aliases
+        )
+        if is_numpy_random:
+            if func.attr in _NUMPY_CONSTRUCTORS:
+                if not has_args:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"numpy.random.{func.attr}() constructed without a "
+                        "seed; pass an explicit seed",
+                    )
+            else:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"global-state numpy.random.{func.attr}() call; use a "
+                    "seeded numpy.random.Generator",
+                )

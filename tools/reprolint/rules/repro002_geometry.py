@@ -1,0 +1,101 @@
+"""REPRO002 — no magic geometry literals outside ``stack/geometry.py``.
+
+The stack's shape (8 dies, 8 banks/die, 64K rows, 2 KB rows, 256 data
+TSVs, ...) is owned by :class:`repro.stack.geometry.StackGeometry`.  A
+bare ``8`` or ``65536`` elsewhere in ``src/`` silently hard-codes the
+baseline geometry and breaks every scaled-down or swept configuration —
+exactly the class of bug that corrupts Monte-Carlo results while tests
+on the small geometry stay green.
+
+Allowed contexts:
+
+* ``stack/geometry.py`` itself (the single source of truth);
+* module- or class-level ``ALL_CAPS`` constant definitions (defining a
+  *named* constant is how a legitimate non-geometry use of these values
+  documents itself);
+* per-line / per-file suppressions for genuinely non-geometric uses
+  (e.g. ``256`` as the GF(2^8) field size in ``ecc/``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from tools.reprolint.engine import Checker, FileContext, Finding
+
+#: Values that encode the baseline stack geometry (Table II).
+MAGIC_GEOMETRY_VALUES = frozenset(
+    {
+        8,  # dies, banks/die, subarrays/bank
+        64,  # line bytes, total banks
+        256,  # data TSVs per channel, small-geometry row bytes
+        2048,  # row bytes
+        65536,  # rows per bank
+        16384,  # rows per subarray (64K/4)
+        32768,  # half the rows of a bank
+    }
+)
+
+
+class MagicGeometryLiteralChecker(Checker):
+    code = "REPRO002"
+    name = "magic-geometry-literal"
+    description = (
+        "magic geometry literal; derive the value from StackGeometry or "
+        "define a named ALL_CAPS constant"
+    )
+    include = ("src/*",)
+    exclude = ("src/repro/stack/geometry.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        allowed = self._constant_definition_nodes(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and type(node.value) is int
+                and node.value in MAGIC_GEOMETRY_VALUES
+                and id(node) not in allowed
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"magic geometry literal {node.value}; use the "
+                    "StackGeometry field/property that defines it (or name "
+                    "it as an ALL_CAPS constant)",
+                )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _constant_definition_nodes(tree: ast.Module) -> Set[int]:
+        """ids of Constant nodes inside ALL_CAPS constant definitions.
+
+        Only module- and class-level assignments count; a local variable
+        named ``ROWS`` inside a function does not make its literal a
+        documented constant.
+        """
+        allowed: Set[int] = set()
+        scopes = [tree.body] + [
+            node.body for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+        ]
+        for body in scopes:
+            for stmt in body:
+                targets: list = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets = [stmt.target]
+                else:
+                    continue
+                if not all(
+                    isinstance(t, ast.Name) and t.id.upper() == t.id
+                    for t in targets
+                ):
+                    continue
+                value = stmt.value
+                if value is None:
+                    continue
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Constant):
+                        allowed.add(id(sub))
+        return allowed

@@ -1,0 +1,113 @@
+"""REPRO003 — no float ``==`` / ``!=`` in probability math.
+
+``reliability/`` and ``ecc/`` compute failure probabilities, FIT sums and
+importance weights in floating point; exact equality on such values is
+almost always a latent bug (``1 - (1 - p)**n == 0`` style expressions
+pass or fail depending on rounding).  Use :func:`math.isclose` or an
+explicit tolerance.
+
+Since Python has no static types at the AST level, the rule uses a
+conservative float-ness heuristic for each comparison operand:
+
+* a float literal (``0.5``);
+* an expression containing true division (``a / b``);
+* a call to a ``math.*`` function that returns float (``math.exp``);
+* a name or attribute whose identifier tokens mark it as a probability
+  or rate quantity (``prob``, ``probability``, ``fraction``, ``weight``,
+  ``fit``, ``rate``, ``hours``, ``lam``, ``lambda``).
+
+Integer comparisons (``count == 0``, GF(256) symbol arithmetic) are not
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.engine import Checker, FileContext, Finding
+from tools.reprolint.rules.common import dotted_name, name_tokens, terminal_name
+
+_FLOATY_TOKENS = frozenset(
+    {
+        "prob",
+        "probability",
+        "fraction",
+        "weight",
+        "fit",
+        "rate",
+        "hours",
+        "lam",
+        "lambda",
+    }
+)
+
+_MATH_FLOAT_FUNCS = frozenset(
+    {
+        "exp",
+        "log",
+        "log2",
+        "log10",
+        "sqrt",
+        "pow",
+        "expm1",
+        "log1p",
+        "fsum",
+        "prod",
+        "erf",
+        "erfc",
+    }
+)
+
+
+def _looks_float(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return type(node.value) is float
+    if isinstance(node, ast.UnaryOp):
+        return _looks_float(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _looks_float(node.left) or _looks_float(node.right)
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if len(parts) == 2 and parts[0] == "math" and parts[1] in _MATH_FLOAT_FUNCS:
+                return True
+            if parts[-1] == "float":
+                return True
+        return False
+    name = terminal_name(node)
+    if name is not None:
+        return bool(name_tokens(name) & _FLOATY_TOKENS)
+    return False
+
+
+class FloatEqualityChecker(Checker):
+    code = "REPRO003"
+    name = "float-equality"
+    description = (
+        "exact float equality in probability math; use math.isclose or an "
+        "explicit tolerance"
+    )
+    include = ("src/repro/reliability/*", "src/repro/ecc/*")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _looks_float(left) or _looks_float(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"float {symbol} comparison in probability math; use "
+                        "math.isclose or an explicit tolerance",
+                    )
+                    break

@@ -1,0 +1,51 @@
+"""REPRO004 — no mutable default arguments.
+
+A mutable default (``def f(x, acc=[])``) is evaluated once at function
+definition time and shared across calls; in a simulator this turns into
+cross-trial state leakage that silently biases Monte-Carlo statistics.
+Use ``None`` plus an in-body default instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from tools.reprolint.engine import Checker, FileContext, Finding
+from tools.reprolint.rules.common import dotted_name
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None and dotted.split(".")[-1] in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+class MutableDefaultChecker(Checker):
+    code = "REPRO004"
+    name = "mutable-default-argument"
+    description = "mutable default argument; use None and set inside the body"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                args = node.args
+                for default in [*args.defaults, *args.kw_defaults]:
+                    if default is not None and _is_mutable_default(default):
+                        label = (
+                            "<lambda>"
+                            if isinstance(node, ast.Lambda)
+                            else node.name
+                        )
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"mutable default argument in {label}(); use "
+                            "None and initialize inside the body",
+                        )

@@ -1,0 +1,122 @@
+"""REPRO005 — FIT-vs-probability unit discipline.
+
+FIT (failures per 10^9 device-hours) and per-hour probabilities differ by
+a factor of 1e-9; adding, subtracting or comparing the two without an
+explicit conversion is a unit error that scales every reliability figure
+by nine orders of magnitude.  The fault model does exactly one such
+conversion (``fit * _FIT_TO_PER_HOUR`` in the injector), so any *additive*
+mixing of a FIT-named quantity with a probability/per-hour-named quantity
+is flagged.
+
+Unit inference from identifier names:
+
+* ``fit`` token (``die_fit``, ``tsv_device_fit``, ``total_fit``) -> FIT;
+* ``prob``/``probability`` token or a ``per_hour`` suffix
+  (``fail_prob``, ``rate_per_hour``) -> per-hour probability;
+* identifiers mentioning both (``_FIT_TO_PER_HOUR``, ``fit_to_per_hour``)
+  are conversions and neutralize the expression they appear in;
+* multiplying or dividing by a unit-less count keeps the unit; adding two
+  same-unit quantities keeps the unit.
+
+Flagged: ``BinOp`` with ``+``/``-`` and ``Compare`` nodes whose two sides
+carry *different* known units.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from typing import Iterator, Optional
+
+from tools.reprolint.engine import Checker, FileContext, Finding
+from tools.reprolint.rules.common import name_tokens, terminal_name
+
+
+class _Unit(enum.Enum):
+    FIT = "FIT"
+    PER_HOUR = "per-hour probability"
+    CONVERSION = "conversion"
+
+
+def _classify_name(identifier: str) -> Optional[_Unit]:
+    tokens = name_tokens(identifier)
+    lowered = identifier.lower()
+    is_fit = "fit" in tokens
+    is_hourly = (
+        "prob" in tokens
+        or "probability" in tokens
+        or "per_hour" in lowered
+    )
+    if is_fit and is_hourly:
+        return _Unit.CONVERSION
+    if is_fit:
+        return _Unit.FIT
+    if is_hourly:
+        return _Unit.PER_HOUR
+    return None
+
+
+def _classify(node: ast.expr) -> Optional[_Unit]:
+    """Best-effort unit of an expression; None = unit-less/unknown."""
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = terminal_name(node)
+        return _classify_name(name) if name is not None else None
+    if isinstance(node, ast.UnaryOp):
+        return _classify(node.operand)
+    if isinstance(node, ast.Call):
+        name = terminal_name(node.func)
+        if name is None:
+            return None
+        unit = _classify_name(name)
+        # A conversion *call* yields a value in the target unit, which we
+        # cannot know without types — treat as unit-less (safe).
+        return None if unit is _Unit.CONVERSION else unit
+    if isinstance(node, ast.BinOp):
+        left, right = _classify(node.left), _classify(node.right)
+        if _Unit.CONVERSION in (left, right):
+            return None  # an explicit conversion neutralizes the factor
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            if left is None:
+                return right if isinstance(node.op, ast.Mult) else None
+            if right is None:
+                return left
+            return None  # unit*unit / unit/unit: beyond this heuristic
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            return left if left == right else None
+    return None
+
+
+class FitUnitDisciplineChecker(Checker):
+    code = "REPRO005"
+    name = "fit-unit-discipline"
+    description = (
+        "FIT and per-hour probability mixed without an explicit conversion"
+    )
+    include = ("src/*",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs = [(node.left, node.right)]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                pairs = list(zip(operands, operands[1:]))
+            else:
+                continue
+            for left, right in pairs:
+                lu, ru = _classify(left), _classify(right)
+                if (
+                    lu in (_Unit.FIT, _Unit.PER_HOUR)
+                    and ru in (_Unit.FIT, _Unit.PER_HOUR)
+                    and lu is not ru
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"mixing {lu.value} with {ru.value} without an "
+                        "explicit conversion (multiply by the FIT->per-hour "
+                        "factor first)",
+                    )
+                    break

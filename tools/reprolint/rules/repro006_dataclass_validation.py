@@ -1,0 +1,104 @@
+"""REPRO006 — dataclasses with physical-range fields must validate them.
+
+A ``@dataclass`` carrying physical coordinates or budgets (dies, banks,
+rows, cols, channels, slots, TSV indices, spare counts) is a unit of the
+fault model's address algebra; constructing one with an out-of-range
+value corrupts footprints silently.  Any such dataclass must define
+``__post_init__`` and range-check its fields (directly or via
+``repro.contracts.require``).
+
+A field is "physical-range" when (a) its annotation is exactly ``int`` or
+``Optional[int]`` and (b) its name contains a physical token such as
+``die``, ``bank``, ``row``, ``col``, ``channel``, ``subarray``, ``slot``
+or ``tsv``.  Collections (``List[int]``) and non-physical counters are
+not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from tools.reprolint.engine import Checker, FileContext, Finding
+from tools.reprolint.rules.common import decorator_matches, name_tokens
+
+_PHYSICAL_TOKENS = frozenset(
+    {
+        "die",
+        "dies",
+        "bank",
+        "banks",
+        "row",
+        "rows",
+        "col",
+        "cols",
+        "channel",
+        "channels",
+        "subarray",
+        "subarrays",
+        "slot",
+        "slots",
+        "tsv",
+        "tsvs",
+        "stack",
+        "stacks",
+    }
+)
+
+#: Annotations counted as scalar ints (string-compared after unparse).
+_INT_ANNOTATION_RE = re.compile(
+    r"^(int|Optional\[int\]|int\s*\|\s*None|None\s*\|\s*int|"
+    r"typing\.Optional\[int\])$"
+)
+
+
+class DataclassValidationChecker(Checker):
+    code = "REPRO006"
+    name = "unvalidated-physical-dataclass"
+    description = (
+        "@dataclass with physical-range int fields must range-check them "
+        "in __post_init__"
+    )
+    include = ("src/*",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                decorator_matches(dec, "dataclass") for dec in node.decorator_list
+            ):
+                continue
+            physical = self._physical_fields(node)
+            if not physical:
+                continue
+            has_post_init = any(
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__post_init__"
+                for stmt in node.body
+            )
+            if not has_post_init:
+                fields = ", ".join(physical)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"dataclass {node.name} has physical-range field(s) "
+                    f"{fields} but no __post_init__ validation",
+                )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _physical_fields(node: ast.ClassDef) -> List[str]:
+        names: List[str] = []
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            annotation = ast.unparse(stmt.annotation).replace(" ", "")
+            if not _INT_ANNOTATION_RE.match(annotation):
+                continue
+            if name_tokens(stmt.target.id) & _PHYSICAL_TOKENS:
+                names.append(stmt.target.id)
+        return names
