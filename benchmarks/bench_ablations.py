@@ -13,14 +13,14 @@
 
 import pytest
 
-from conftest import emit, run_reliability
+from conftest import emit, run_reliability, scaled
 from repro.analysis.report import ExperimentReport
 from repro.core.parity3dp import make_3dp
 from repro.ecc import SymbolCode
 from repro.faults.rates import TSV_FIT_HIGH, FailureRates
 from repro.stack.striping import StripingPolicy
 
-TRIALS = 15000
+TRIALS = scaled(15000)
 
 
 @pytest.mark.benchmark(group="ablation")
@@ -102,9 +102,14 @@ def test_ablation_dds_spare_rows(benchmark, geometry):
     emit(report, "ablation_dds_rows")
     # With 0 spare rows, every small permanent fault consumes a spare
     # bank; after 2 such faults the spare banks are gone and faults
-    # accumulate again -> strictly worse than the paper's 4.
+    # accumulate again -> strictly worse than the paper's 4.  At smoke
+    # trial counts (REPRO_BENCH_SCALE) one Monte-Carlo failure is worth
+    # stratum_weight/trials of probability, so allow rule-of-three slack
+    # below the measurement's resolution.
+    resolution = results[4].stratum_weight / results[4].trials
     assert (
-        results[0].failure_probability >= results[4].failure_probability
+        results[0].failure_probability
+        >= results[4].failure_probability - 3.0 * resolution
     )
     # Oversizing the RRT does not help (bimodal distribution).
     assert results[16].failures <= results[4].failures + 3

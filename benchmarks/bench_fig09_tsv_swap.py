@@ -7,13 +7,13 @@ system with *no TSV faults at all*, for all three data mappings.
 
 import pytest
 
-from conftest import emit, run_reliability
+from conftest import emit, run_reliability, scaled
 from repro.analysis.report import ExperimentReport, same_order_of_magnitude
 from repro.ecc import SymbolCode
 from repro.faults.rates import TSV_FIT_HIGH, FailureRates
 from repro.stack.striping import StripingPolicy
 
-TRIALS = 10000
+TRIALS = scaled(10000)
 
 
 @pytest.mark.benchmark(group="fig9")
@@ -59,9 +59,17 @@ def test_fig9_tsv_swap(benchmark, geometry):
         swap_p = r["with_swap"].failure_probability
         clean_p = r["no_tsv"].failure_probability
         raw_p = r["no_swap"].failure_probability
-        # TSV-Swap restores the no-TSV-fault resilience...
+        # TSV-Swap restores the no-TSV-fault resilience.  At smoke trial
+        # counts (REPRO_BENCH_SCALE) one Monte-Carlo failure is worth
+        # stratum_weight/trials of probability; differences within ~3
+        # quanta (rule of three for a zero-failure measurement) are below
+        # the measurement's resolution and also count as "matching".
+        resolution = r["with_swap"].stratum_weight / r["with_swap"].trials
         if clean_p > 0:
-            assert same_order_of_magnitude(swap_p, clean_p, slack=3.0), policy
+            assert (
+                same_order_of_magnitude(swap_p, clean_p, slack=3.0)
+                or abs(swap_p - clean_p) <= 3.0 * resolution
+            ), policy
         # ...and TSV faults visibly hurt at least the striped mappings
         # when unmitigated.
         if policy is not StripingPolicy.SAME_BANK:

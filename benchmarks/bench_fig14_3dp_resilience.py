@@ -12,39 +12,17 @@ EXPERIMENTS.md for the full analysis).
 
 import pytest
 
-from conftest import emit, run_reliability
+from conftest import BENCH_WORKERS, emit, scaled
 from repro.analysis.report import ExperimentReport
-from repro.core.parity3dp import make_1dp, make_2dp, make_3dp
-from repro.ecc import SymbolCode
-from repro.faults.rates import TSV_FIT_HIGH, FailureRates
-from repro.stack.striping import StripingPolicy
+from repro.reliability.experiments import fig14_experiment
 
-TRIALS = 20000
+TRIALS = scaled(20000)
 
 
 @pytest.mark.benchmark(group="fig14")
 def test_fig14_3dp_resilience(benchmark, geometry):
-    rates = FailureRates.paper_baseline(tsv_device_fit=TSV_FIT_HIGH)
-
     def experiment():
-        symbol = SymbolCode(geometry, StripingPolicy.ACROSS_CHANNELS)
-        return {
-            "symbol": run_reliability(
-                geometry, rates, symbol, TRIALS, 201, tsv_swap_standby=4
-            ),
-            "1dp": run_reliability(
-                geometry, rates, make_1dp(geometry), TRIALS, 202,
-                tsv_swap_standby=4,
-            ),
-            "2dp": run_reliability(
-                geometry, rates, make_2dp(geometry), TRIALS, 203,
-                tsv_swap_standby=4,
-            ),
-            "3dp": run_reliability(
-                geometry, rates, make_3dp(geometry), TRIALS, 204,
-                tsv_swap_standby=4,
-            ),
-        }
+        return fig14_experiment(geometry, TRIALS, workers=BENCH_WORKERS)
 
     results = benchmark.pedantic(experiment, rounds=1, iterations=1)
 

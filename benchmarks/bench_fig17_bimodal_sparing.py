@@ -7,17 +7,14 @@ decoder serves the whole bank), with sub-0.2% combination cases.  This
 bimodality is what motivates DDS's two sparing granularities.
 """
 
-import random
-
 import pytest
 
-from conftest import emit
+from conftest import emit, run_reliability, scaled
 from repro.analysis.report import ExperimentReport
 from repro.core.parity3dp import make_3dp
 from repro.faults.rates import FailureRates
-from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
 
-TRIALS = 60000
+TRIALS = scaled(60000)
 
 #: Paper's labeled mass points (fraction of faulty banks).
 PAPER_FRACTIONS = {
@@ -30,14 +27,11 @@ PAPER_FRACTIONS = {
 @pytest.mark.benchmark(group="fig17")
 def test_fig17_bimodal_sparing(benchmark, geometry):
     def experiment():
-        sim = LifetimeSimulator(
-            geometry,
-            FailureRates.paper_baseline(),
-            make_3dp(geometry),
-            EngineConfig(use_dds=True, collect_sparing_stats=True),
-            rng=random.Random(500),
+        return run_reliability(
+            geometry, FailureRates.paper_baseline(), make_3dp(geometry),
+            TRIALS, 500, min_faults=1,
+            use_dds=True, collect_sparing_stats=True,
         )
-        return sim.run(trials=TRIALS, min_faults=1)
 
     result = benchmark.pedantic(experiment, rounds=1, iterations=1)
     hist = result.sparing.rows_histogram()

@@ -9,36 +9,20 @@ spare budget) can still combine into data loss.
 
 import pytest
 
-from conftest import emit, run_reliability
+from conftest import BENCH_WORKERS, emit, scaled
 from repro.analysis.report import ExperimentReport
-from repro.core.parity3dp import make_3dp
-from repro.ecc import SymbolCode
-from repro.faults.rates import TSV_FIT_HIGH, FailureRates
-from repro.stack.striping import StripingPolicy
+from repro.reliability.experiments import fig18_experiment
 
-SYMBOL_TRIALS = 20000
-CITADEL_TRIALS = 120000
+SYMBOL_TRIALS = scaled(20000)
+CITADEL_TRIALS = scaled(120000)
 
 
 @pytest.mark.benchmark(group="fig18")
 def test_fig18_citadel_resilience(benchmark, geometry):
-    rates = FailureRates.paper_baseline(tsv_device_fit=TSV_FIT_HIGH)
-
     def experiment():
-        symbol = SymbolCode(geometry, StripingPolicy.ACROSS_CHANNELS)
-        return {
-            "symbol": run_reliability(
-                geometry, rates, symbol, SYMBOL_TRIALS, 301, tsv_swap_standby=4
-            ),
-            "citadel": run_reliability(
-                geometry, rates, make_3dp(geometry), CITADEL_TRIALS, 302,
-                tsv_swap_standby=4, use_dds=True,
-            ),
-            "3dp_only": run_reliability(
-                geometry, rates, make_3dp(geometry), SYMBOL_TRIALS, 303,
-                tsv_swap_standby=4,
-            ),
-        }
+        return fig18_experiment(
+            geometry, SYMBOL_TRIALS, CITADEL_TRIALS, workers=BENCH_WORKERS
+        )
 
     results = benchmark.pedantic(experiment, rounds=1, iterations=1)
 

@@ -8,14 +8,14 @@ orders of magnitude more often; RAID-5 improves on it ~89x; Citadel is
 
 import pytest
 
-from conftest import emit, run_reliability
+from conftest import emit, run_reliability, scaled
 from repro.analysis.report import ExperimentReport
 from repro.core.parity3dp import make_3dp
 from repro.ecc import BCHCode, RAID5
 from repro.faults.rates import FailureRates
 
-TRIALS = 20000
-CITADEL_TRIALS = 120000
+TRIALS = scaled(20000)
+CITADEL_TRIALS = scaled(120000)
 
 
 @pytest.mark.benchmark(group="fig19")

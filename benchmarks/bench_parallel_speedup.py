@@ -1,0 +1,72 @@
+"""Parallel-runner speedup smoke: 4 workers must beat serial by >= 2x.
+
+Runs the Figure 18 Citadel campaign (the heaviest per-trial workload:
+DDS + TSV-Swap + stratified sampling) at a fixed trial count, serial and
+with 4 workers, and checks wall-clock speedup.  Skipped on machines with
+fewer than 4 CPUs, where the pool cannot physically deliver the ratio.
+
+The *numbers* are asserted identical — sharding buys speed, never a
+different answer.
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import emit, scaled
+from repro.analysis.report import ExperimentReport
+from repro.core.parity3dp import make_3dp
+from repro.faults.rates import TSV_FIT_HIGH, FailureRates
+from repro.reliability.experiments import run_campaign
+
+TRIALS = scaled(60000, floor=20000)
+SHARD_SIZE = 1000
+
+
+def cpu_count():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_speedup_fig18_citadel(benchmark, geometry):
+    rates = FailureRates.paper_baseline(tsv_device_fit=TSV_FIT_HIGH)
+
+    def campaign(workers):
+        return run_campaign(
+            geometry, rates, make_3dp(geometry), TRIALS, 302,
+            workers=workers, shard_size=SHARD_SIZE,
+            tsv_swap_standby=4, use_dds=True,
+        )
+
+    def experiment():
+        t0 = time.perf_counter()
+        serial = campaign(workers=1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pooled = campaign(workers=4)
+        t_pooled = time.perf_counter() - t0
+        return serial, pooled, t_serial, t_pooled
+
+    serial, pooled, t_serial, t_pooled = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    speedup = t_serial / t_pooled
+
+    report = ExperimentReport(
+        "Parallel speedup", f"fig18 Citadel campaign, {TRIALS} trials"
+    )
+    report.add("serial wall-clock", None, t_serial, unit="s")
+    report.add("4-worker wall-clock", None, t_pooled, unit="s")
+    report.add("speedup", 4.0, speedup, unit="x",
+               note=f"{cpu_count()} CPUs visible")
+    emit(report, "parallel_speedup")
+
+    # Identical numbers regardless of worker count, always.
+    assert serial == pooled
+    if cpu_count() < 4:
+        pytest.skip(f"only {cpu_count()} CPUs; speedup target needs >= 4")
+    assert speedup >= 2.0, f"4-worker speedup only {speedup:.2f}x"

@@ -5,17 +5,14 @@ two, 0.04% have three or more — which is why two spare banks suffice
 (99.96% coverage).
 """
 
-import random
-
 import pytest
 
-from conftest import emit
+from conftest import emit, run_reliability, scaled
 from repro.analysis.report import ExperimentReport
 from repro.core.parity3dp import make_3dp
 from repro.faults.rates import FailureRates
-from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
 
-TRIALS = 150000
+TRIALS = scaled(150000)
 
 PAPER = {"1": 0.6698, "2": 0.3298, "3+": 0.0004}
 
@@ -23,17 +20,13 @@ PAPER = {"1": 0.6698, "2": 0.3298, "3+": 0.0004}
 @pytest.mark.benchmark(group="table3")
 def test_table3_failed_banks(benchmark, geometry):
     def experiment():
-        sim = LifetimeSimulator(
-            geometry,
-            FailureRates.paper_baseline(),
-            make_3dp(geometry),
-            EngineConfig(use_dds=True, collect_sparing_stats=True),
-            rng=random.Random(600),
+        # Condition on >= 1 fault: empty lifetimes contribute nothing to
+        # the failed-bank tabulation and would dominate the trial budget.
+        return run_reliability(
+            geometry, FailureRates.paper_baseline(), make_3dp(geometry),
+            TRIALS, 600, min_faults=1,
+            use_dds=True, collect_sparing_stats=True,
         )
-        # Condition on >= 2 faults: a single fault cannot make the
-        # multi-failed-bank cases we are tabulating, and one-fault trials
-        # only add mass to the "1" bucket, which we correct for below.
-        return sim.run(trials=TRIALS, min_faults=1)
 
     result = benchmark.pedantic(experiment, rounds=1, iterations=1)
     got = result.sparing.failed_bank_distribution()

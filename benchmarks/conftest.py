@@ -4,18 +4,39 @@ Every bench regenerates one table/figure of the paper at a reduced trial
 count / trace length (the ``scripts/full_reliability_study.py`` script
 runs the publication-scale versions), prints a paper-vs-measured report
 and writes it to ``results/<bench>.txt``.
+
+Environment knobs (used by the CI benchmark-smoke job):
+
+* ``REPRO_BENCH_WORKERS`` — Monte-Carlo worker processes per campaign
+  (default 1).  Results are byte-identical for any value.
+* ``REPRO_BENCH_SCALE`` — divide every reliability trial count by this
+  factor (default 1, floor 500 trials) for smoke runs.
 """
 
-import random
+import os
 from pathlib import Path
 
 import pytest
 
-from repro import EngineConfig, LifetimeSimulator, StackGeometry
+from repro import StackGeometry
 from repro.analysis.report import ExperimentReport
 from repro.perf import PerfConfig, PowerModel, SystemSimulator
+from repro.reliability.experiments import run_campaign
 from repro.stack.striping import StripingPolicy
 from repro.workloads import PROFILES, rate_mode_traces
+
+#: Monte-Carlo worker processes (sharded results do not depend on this).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+#: Trial-count divisor for smoke runs.
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(trials: int, floor: int = 500) -> int:
+    """Reduce a bench's trial count by ``REPRO_BENCH_SCALE`` (smoke CI)."""
+    if BENCH_SCALE <= 1:
+        return trials
+    return max(floor, trials // BENCH_SCALE)
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -29,6 +50,13 @@ PERF_CONFIGS = {
 }
 
 REQUESTS_PER_CORE = 2000
+
+
+def pytest_collection_modifyitems(items):
+    """Every bench is ``slow``: the tier-1 suite (testpaths=tests) never
+    collects them, and the CI benchmark-smoke job selects ``-m slow``."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")
@@ -68,12 +96,15 @@ def normalized(sweep, name, config_name, what="time"):
     return entry["power_mw"] / base["power_mw"]
 
 
-def run_reliability(geometry, rates, model, trials, seed, label=None, **cfg):
-    """One Monte-Carlo reliability measurement with a fixed seed."""
-    sim = LifetimeSimulator(
-        geometry, rates, model, EngineConfig(**cfg), rng=random.Random(seed)
+def run_reliability(
+    geometry, rates, model, trials, seed, label=None, min_faults=None, **cfg
+):
+    """One sharded Monte-Carlo reliability measurement with a fixed root
+    seed (byte-identical for any ``REPRO_BENCH_WORKERS``)."""
+    return run_campaign(
+        geometry, rates, model, trials, seed,
+        label=label, min_faults=min_faults, workers=BENCH_WORKERS, **cfg
     )
-    return sim.run(trials=trials, label=label)
 
 
 def emit(report: ExperimentReport, name: str) -> None:

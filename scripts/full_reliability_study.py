@@ -6,22 +6,26 @@ Table III at publication-scale trial counts (the pytest benches run
 scaled-down versions of the same experiments).  Results are written to
 results/reliability_full.json and echoed as text.
 
-Usage: python scripts/full_reliability_study.py [--quick]
+Usage: python scripts/full_reliability_study.py [--quick] [--workers N]
+       [--checkpoint-dir DIR] [--resume] [--time-budget S]
+
+Campaigns are sharded: ``--workers N`` fans each experiment out over N
+processes with byte-identical results for any N, and ``--checkpoint-dir``
++ ``--resume`` survive interruption of multi-hour runs (each experiment
+checkpoints its completed shards to DIR/<label>.json).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import random
+import re
 import sys
 import time
 from pathlib import Path
 
 from repro import (
-    EngineConfig,
     FailureRates,
-    LifetimeSimulator,
     StackGeometry,
     make_1dp,
     make_2dp,
@@ -29,18 +33,37 @@ from repro import (
 )
 from repro.ecc import BCHCode, RAID5, SECDED, SymbolCode, TwoDimECC
 from repro.faults.rates import TSV_FIT_SWEEP
+from repro.reliability.experiments import run_campaign
 from repro.stack.striping import StripingPolicy
 
 GEOM = StackGeometry()
 RESULTS = Path(__file__).resolve().parent.parent / "results"
 
+#: Campaign options shared by every experiment, filled in by main().
+CAMPAIGN = {
+    "workers": 1,
+    "checkpoint_dir": None,
+    "resume": False,
+    "time_budget_s": None,
+}
 
-def run(model, rates, trials, seed, label=None, **cfg):
-    sim = LifetimeSimulator(
-        GEOM, rates, model, EngineConfig(**cfg), rng=random.Random(seed)
-    )
+
+def run(model, rates, trials, seed, label=None, min_faults=None, **cfg):
+    checkpoint = None
+    if CAMPAIGN["checkpoint_dir"] is not None:
+        stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", label or model.name)
+        checkpoint = Path(CAMPAIGN["checkpoint_dir"]) / f"s{seed}_{stem}.json"
     t0 = time.time()
-    result = sim.run(trials=trials, label=label)
+    result = run_campaign(
+        GEOM, rates, model, trials, seed,
+        label=label,
+        min_faults=min_faults,
+        workers=CAMPAIGN["workers"],
+        checkpoint_path=checkpoint,
+        resume=CAMPAIGN["resume"],
+        time_budget_s=CAMPAIGN["time_budget_s"],
+        **cfg,
+    )
     elapsed = time.time() - t0
     print(f"  {result.summary()}   [{elapsed:.1f}s]", flush=True)
     return {
@@ -57,8 +80,23 @@ def run(model, rates, trials, seed, label=None, **cfg):
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true", help="100x fewer trials")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per campaign (results are "
+                             "identical for any value)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="checkpoint each experiment's shards under DIR")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume experiments from --checkpoint-dir")
+    parser.add_argument("--time-budget", type=float, default=None, metavar="S",
+                        help="per-experiment wall-clock budget in seconds")
     args = parser.parse_args()
     scale = 100 if args.quick else 1
+    CAMPAIGN["workers"] = args.workers
+    CAMPAIGN["checkpoint_dir"] = args.checkpoint_dir
+    CAMPAIGN["resume"] = args.resume
+    CAMPAIGN["time_budget_s"] = args.time_budget
+    if args.checkpoint_dir is not None:
+        Path(args.checkpoint_dir).mkdir(parents=True, exist_ok=True)
 
     def n(trials):
         return max(2000, trials // scale)
@@ -119,14 +157,23 @@ def main() -> int:
     }
 
     print("== Figure 17 / Table III: sparing-demand statistics ==")
-    sim = LifetimeSimulator(
+    checkpoint = None
+    if CAMPAIGN["checkpoint_dir"] is not None:
+        checkpoint = Path(CAMPAIGN["checkpoint_dir"]) / "s61_sparing.json"
+    stats_result = run_campaign(
         GEOM,
         FailureRates.paper_baseline(),
         make_3dp(GEOM),
-        EngineConfig(use_dds=True, collect_sparing_stats=True),
-        rng=random.Random(61),
+        n(400_000),
+        61,
+        min_faults=1,
+        workers=CAMPAIGN["workers"],
+        checkpoint_path=checkpoint,
+        resume=CAMPAIGN["resume"],
+        time_budget_s=CAMPAIGN["time_budget_s"],
+        use_dds=True,
+        collect_sparing_stats=True,
     )
-    stats_result = sim.run(trials=n(400_000), min_faults=1)
     sparing = stats_result.sparing
     hist = sparing.rows_histogram()
     total = sum(hist.values())

@@ -17,7 +17,6 @@ Commands
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -26,7 +25,12 @@ from repro.core.parity3dp import make_1dp, make_2dp, make_3dp
 from repro.ecc import BCHCode, RAID5, SECDED, SymbolCode, TwoDimECC
 from repro.faults.rates import FailureRates
 from repro.perf import PerfConfig, PowerModel, SystemSimulator
-from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
+from repro.reliability.montecarlo import EngineConfig
+from repro.reliability.parallel import (
+    DEFAULT_SHARD_SIZE,
+    EarlyStopPolicy,
+    ParallelLifetimeRunner,
+)
 from repro.stack.geometry import StackGeometry
 from repro.stack.striping import StripingPolicy
 from repro.workloads import PROFILES, rate_mode_traces
@@ -81,6 +85,21 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument("--seed", type=int, default=0)
     rel.add_argument("--modes", action="store_true",
                      help="report failure-mode attribution")
+    rel.add_argument("--workers", type=int, default=1,
+                     help="worker processes; results are identical for "
+                          "any value (default 1)")
+    rel.add_argument("--shard-size", type=int, default=None, metavar="N",
+                     help="trials per shard (default %d)"
+                          % DEFAULT_SHARD_SIZE)
+    rel.add_argument("--checkpoint", metavar="FILE", default=None,
+                     help="JSON checkpoint of completed shards")
+    rel.add_argument("--resume", action="store_true",
+                     help="resume from --checkpoint if it exists")
+    rel.add_argument("--time-budget", type=float, default=None, metavar="S",
+                     help="stop dispatching shards after S seconds")
+    rel.add_argument("--early-stop", type=float, default=None, metavar="REL",
+                     help="stop once the 95%% CI half-width is below REL "
+                          "of the failure probability (e.g. 0.1)")
 
     perf = sub.add_parser("perf", help="performance/power simulation")
     perf.add_argument("--benchmark", choices=sorted(PROFILES), default="mcf")
@@ -138,7 +157,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
         tsv_swap = 4 if tsv_swap is None else tsv_swap
         use_dds = True
     model = SCHEMES[args.scheme](geometry)
-    sim = LifetimeSimulator(
+    runner = ParallelLifetimeRunner(
         geometry,
         rates,
         model,
@@ -148,10 +167,35 @@ def cmd_reliability(args: argparse.Namespace) -> int:
             scrub_interval_hours=args.scrub_hours,
             collect_failure_modes=args.modes,
         ),
-        rng=random.Random(args.seed),
+        root_seed=args.seed,
+        workers=args.workers,
+        shard_size=(
+            args.shard_size if args.shard_size is not None
+            else DEFAULT_SHARD_SIZE
+        ),
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        time_budget_s=args.time_budget,
+        early_stop=(
+            EarlyStopPolicy(rel_halfwidth=args.early_stop)
+            if args.early_stop is not None
+            else None
+        ),
     )
-    result = sim.run(trials=args.trials)
+    result = runner.run(trials=args.trials)
     print(result.summary())
+    report = runner.last_report
+    if report is not None and (
+        report.partial or report.stopped_early or report.resumed_shards
+    ):
+        print(
+            f"campaign: {report.merged_shards}/{report.planned_shards} "
+            f"shards merged ({report.resumed_shards} resumed, "
+            f"{len(report.failed_shards)} failed)"
+            + (", stopped early" if report.stopped_early else "")
+            + (", interrupted" if report.interrupted else "")
+            + (", time budget exhausted" if report.budget_exhausted else "")
+        )
     if args.modes and result.failure_modes:
         print("failure modes:")
         for mode, count in result.top_failure_modes():

@@ -30,6 +30,17 @@ class SimulationError(ReproError):
     """A simulator reached an inconsistent internal state."""
 
 
+class MergeError(ReproError):
+    """Two :class:`~repro.reliability.results.ReliabilityResult` shards with
+    incompatible metadata (scheme, stratum weight, lifetime, min-fault
+    stratum) were asked to merge."""
+
+
+class CheckpointError(ReproError):
+    """A parallel-campaign checkpoint file is unreadable or belongs to a
+    different shard plan than the resuming run."""
+
+
 class ContractViolation(ReproError):
     """A runtime contract (require/ensure/invariant) was violated.
 

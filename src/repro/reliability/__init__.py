@@ -3,6 +3,14 @@
 from repro.reliability.analytic import AnalyticModel
 from repro.reliability.availability import AvailabilityModel
 from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
+from repro.reliability.parallel import (
+    CampaignReport,
+    CrashInjection,
+    EarlyStopPolicy,
+    ParallelLifetimeRunner,
+    ShardSpec,
+    shard_plan,
+)
 from repro.reliability.results import ReliabilityResult, SparingStats
 
 __all__ = [
@@ -12,4 +20,10 @@ __all__ = [
     "AvailabilityModel",
     "ReliabilityResult",
     "SparingStats",
+    "ParallelLifetimeRunner",
+    "EarlyStopPolicy",
+    "CampaignReport",
+    "CrashInjection",
+    "ShardSpec",
+    "shard_plan",
 ]

@@ -141,6 +141,10 @@ class LifetimeSimulator:
             failure_modes=modes,
         )
 
+    def scheme_label(self) -> str:
+        """Default result label for this (model, mitigations) combination."""
+        return self._label()
+
     def _label(self) -> str:
         parts = [self.model.name]
         if self.config.tsv_swap_standby is not None:

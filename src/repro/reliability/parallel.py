@@ -1,0 +1,565 @@
+"""Parallel sharded Monte-Carlo campaigns with checkpoint/resume.
+
+:class:`ParallelLifetimeRunner` splits a lifetime-reliability campaign
+into fixed-size *shards* and fans them out over ``multiprocessing``
+workers.  The shard plan is a pure function of ``(trials, shard_size)``
+and each shard draws from its own generator seeded with
+``derive_seed(root_seed, "shard", index)``, so the merged
+:class:`~repro.reliability.results.ReliabilityResult` is identical for
+any worker count — ``workers=1`` (which runs the same shards in-process,
+no pool) and ``workers=8`` produce byte-identical aggregates.
+
+Robustness features for long campaigns:
+
+* **Checkpointing** — completed shards are appended to a JSON checkpoint
+  (atomic rename) every ``checkpoint_every`` completions; a killed
+  campaign resumes with ``resume=True`` and re-runs only missing shards.
+  A fingerprint of the shard plan guards against resuming someone else's
+  checkpoint (:class:`~repro.errors.CheckpointError`).
+* **Wall-clock budget** — ``time_budget_s`` stops dispatching new shards
+  once exceeded; completed shards are merged into an accurate partial
+  result.
+* **Graceful interrupt** — ``KeyboardInterrupt`` drains already-running
+  shards, checkpoints them, and returns the partial aggregate instead of
+  losing the campaign.
+* **Worker-crash containment** — a shard that raises is recorded as
+  failed and excluded from the merge (trial counts stay accurate); a
+  hard worker death (``BrokenProcessPool``) aborts dispatch but still
+  returns the completed prefix.
+* **Early stopping** — an optional sequential-probability rule stops the
+  campaign once the failure-probability confidence interval over the
+  *contiguous shard prefix* is tight enough.  Evaluating the rule on the
+  prefix (never on whichever shards happened to finish first) keeps the
+  stopped result deterministic across worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro import contracts
+from repro.ecc.base import CorrectionModel
+from repro.errors import CheckpointError
+from repro.faults.rates import FailureRates
+from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
+from repro.reliability.results import ReliabilityResult
+from repro.rng import derive_seed
+from repro.stack.geometry import StackGeometry
+
+CHECKPOINT_VERSION = 1
+
+#: Default trials per shard: small enough that an 8-worker run of a
+#: 20k-trial bench balances well, large enough that per-shard overhead
+#: (process dispatch, injector setup) stays negligible.
+DEFAULT_SHARD_SIZE = 2500
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of the campaign: ``trials`` lifetimes from one seed."""
+
+    index: int
+    seed: int
+    trials: int
+
+
+def shard_plan(trials: int, shard_size: int, root_seed: int) -> List[ShardSpec]:
+    """The deterministic shard decomposition of a campaign.
+
+    Depends only on ``(trials, shard_size, root_seed)`` — never on the
+    worker count — which is what makes merged results reproducible on
+    any machine shape.
+    """
+    contracts.require(trials >= 0, "trials must be >= 0, got %r", trials)
+    contracts.require(
+        shard_size > 0, "shard_size must be positive, got %r", shard_size
+    )
+    shards: List[ShardSpec] = []
+    done = 0
+    while done < trials:
+        size = min(shard_size, trials - done)
+        index = len(shards)
+        shards.append(
+            ShardSpec(
+                index=index,
+                seed=derive_seed(root_seed, "shard", index),
+                trials=size,
+            )
+        )
+        done += size
+    return shards
+
+
+@dataclass(frozen=True)
+class EarlyStopPolicy:
+    """Stop once the failure-probability CI over the shard prefix is tight.
+
+    The rule fires when at least ``min_failures`` failures have been
+    observed *and* the ``z``-score confidence half-width is at most
+    ``rel_halfwidth`` of the point estimate.  Requiring a failure floor
+    first keeps the rule from triggering on the lucky all-zero prefixes
+    of a rare-failure campaign.
+    """
+
+    rel_halfwidth: float = 0.1
+    min_failures: int = 100
+    z: float = 1.96
+
+    def __post_init__(self) -> None:
+        contracts.require(
+            self.rel_halfwidth > 0,
+            "rel_halfwidth must be positive, got %r",
+            self.rel_halfwidth,
+        )
+        contracts.check_non_negative(self.min_failures, "min_failures")
+
+    def satisfied(self, prefix: ReliabilityResult) -> bool:
+        if prefix.trials == 0 or prefix.failures < self.min_failures:
+            return False
+        p = prefix.failure_probability
+        if p <= 0.0:
+            return False
+        return self.z * prefix.std_error <= self.rel_halfwidth * p
+
+
+@dataclass(frozen=True)
+class CrashInjection:
+    """Fault-injection hooks for the runner's own fault-tolerance tests.
+
+    ``raise_on`` makes the worker raise ``RuntimeError`` for those shard
+    indices (a contained per-shard failure); ``exit_on`` makes the worker
+    process die with ``os._exit`` (an uncontained crash that breaks the
+    pool).  Production campaigns leave both empty.
+    """
+
+    raise_on: FrozenSet[int] = frozenset()
+    exit_on: FrozenSet[int] = frozenset()
+
+    def __bool__(self) -> bool:
+        return bool(self.raise_on or self.exit_on)
+
+
+@dataclass
+class CampaignReport:
+    """Bookkeeping for one :meth:`ParallelLifetimeRunner.run` call."""
+
+    planned_shards: int = 0
+    completed_shards: int = 0
+    resumed_shards: int = 0
+    failed_shards: List[int] = field(default_factory=list)
+    merged_shards: int = 0
+    elapsed_seconds: float = 0.0
+    stopped_early: bool = False
+    interrupted: bool = False
+    budget_exhausted: bool = False
+    pool_broken: bool = False
+
+    @property
+    def partial(self) -> bool:
+        """True when the campaign ran fewer shards than planned for any
+        reason other than a deterministic early stop."""
+        return (
+            self.merged_shards < self.planned_shards
+            and not self.stopped_early
+        )
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything a worker process needs to run one shard."""
+
+    spec: ShardSpec
+    geometry: StackGeometry
+    rates: FailureRates
+    model: CorrectionModel
+    config: EngineConfig
+    min_faults: int
+    label: str
+    crash: CrashInjection
+
+
+def _run_shard(task: _ShardTask) -> Tuple[int, Dict[str, Any]]:
+    """Worker entry point (module-level so it pickles)."""
+    if task.spec.index in task.crash.exit_on:
+        os._exit(17)
+    if task.spec.index in task.crash.raise_on:
+        raise RuntimeError(
+            f"injected crash in shard {task.spec.index} (CrashInjection)"
+        )
+    sim = LifetimeSimulator(
+        task.geometry,
+        task.rates,
+        task.model,
+        task.config,
+        seed=task.spec.seed,
+    )
+    result = sim.run(
+        trials=task.spec.trials,
+        min_faults=task.min_faults,
+        label=task.label,
+    )
+    return task.spec.index, result.to_dict()
+
+
+class ParallelLifetimeRunner:
+    """Sharded, resumable, multi-process lifetime-reliability campaigns.
+
+    Drop-in upgrade of :class:`LifetimeSimulator.run`: construction takes
+    the same ``(geometry, rates, model, config)`` tuple plus a
+    ``root_seed``, and :meth:`run` returns the same
+    :class:`ReliabilityResult` type the serial engine produces.
+    """
+
+    def __init__(
+        self,
+        geometry: StackGeometry,
+        rates: FailureRates,
+        model: CorrectionModel,
+        config: Optional[EngineConfig] = None,
+        *,
+        root_seed: int = 0,
+        workers: int = 1,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        time_budget_s: Optional[float] = None,
+        early_stop: Optional[EarlyStopPolicy] = None,
+        crash_injection: Optional[CrashInjection] = None,
+    ) -> None:
+        contracts.require(workers >= 1, "workers must be >= 1, got %r", workers)
+        contracts.require(
+            shard_size > 0, "shard_size must be positive, got %r", shard_size
+        )
+        contracts.require(
+            checkpoint_every >= 1,
+            "checkpoint_every must be >= 1, got %r",
+            checkpoint_every,
+        )
+        contracts.require(
+            time_budget_s is None or time_budget_s > 0,
+            "time_budget_s must be positive, got %r",
+            time_budget_s,
+        )
+        self.geometry = geometry
+        self.rates = rates
+        self.model = model
+        self.config = config if config is not None else EngineConfig()
+        self.root_seed = root_seed
+        self.workers = workers
+        self.shard_size = shard_size
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        self.time_budget_s = time_budget_s
+        self.early_stop = early_stop
+        self.crash_injection = (
+            crash_injection if crash_injection is not None else CrashInjection()
+        )
+        self.last_report: Optional[CampaignReport] = None
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        trials: int,
+        min_faults: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> ReliabilityResult:
+        """Run (or resume) the campaign and return the merged result.
+
+        ``self.last_report`` carries the campaign bookkeeping
+        (shard counts, early-stop / interrupt / budget flags).
+        """
+        started = time.monotonic()
+        template = LifetimeSimulator(
+            self.geometry,
+            self.rates,
+            self.model,
+            self.config,
+            seed=self.root_seed,
+        )
+        resolved_min = (
+            template.default_min_faults() if min_faults is None else min_faults
+        )
+        resolved_label = label if label is not None else template.scheme_label()
+        shards = shard_plan(trials, self.shard_size, self.root_seed)
+        report = CampaignReport(planned_shards=len(shards))
+        fingerprint = self._fingerprint(trials, resolved_min, resolved_label)
+
+        completed: Dict[int, ReliabilityResult] = {}
+        if self.resume and self.checkpoint_path is not None:
+            completed = self._load_checkpoint(fingerprint)
+            report.resumed_shards = len(completed)
+        pending = [s for s in shards if s.index not in completed]
+
+        try:
+            if self.workers == 1:
+                self._run_serial(pending, completed, report, fingerprint,
+                                 resolved_min, resolved_label, started)
+            else:
+                self._run_pool(pending, completed, report, fingerprint,
+                               resolved_min, resolved_label, started)
+        except KeyboardInterrupt:
+            report.interrupted = True
+        self._write_checkpoint(completed, fingerprint)
+
+        merged = self._merge(shards, completed, report)
+        if merged.is_identity:
+            # Nothing completed (0 trials, or everything crashed/stopped):
+            # return an empty-but-labelled result rather than the bare
+            # identity so downstream summaries stay readable.
+            merged = ReliabilityResult(
+                scheme_name=resolved_label,
+                trials=0,
+                failures=0,
+                stratum_weight=1.0,
+                lifetime_hours=self.config.lifetime_hours,
+                min_faults=resolved_min,
+            )
+        report.elapsed_seconds = time.monotonic() - started
+        self.last_report = report
+        return merged
+
+    # ------------------------------------------------------------------ #
+    def _run_serial(
+        self,
+        pending: Sequence[ShardSpec],
+        completed: Dict[int, ReliabilityResult],
+        report: CampaignReport,
+        fingerprint: Dict[str, Any],
+        min_faults: int,
+        label: str,
+        started: float,
+    ) -> None:
+        """``workers=1`` degenerate case: same shards, same merge, no pool."""
+        since_checkpoint = 0
+        for spec in pending:
+            if self._out_of_budget(started):
+                report.budget_exhausted = True
+                break
+            task = self._task(spec, min_faults, label)
+            try:
+                index, payload = _run_shard(task)
+            except (RuntimeError, OSError):
+                report.failed_shards.append(spec.index)
+                continue
+            completed[index] = ReliabilityResult.from_dict(payload)
+            report.completed_shards += 1
+            since_checkpoint += 1
+            if since_checkpoint >= self.checkpoint_every:
+                self._write_checkpoint(completed, fingerprint)
+                since_checkpoint = 0
+            if self._stop_index(completed, report.failed_shards) is not None:
+                report.stopped_early = True
+                break
+
+    def _run_pool(
+        self,
+        pending: Sequence[ShardSpec],
+        completed: Dict[int, ReliabilityResult],
+        report: CampaignReport,
+        fingerprint: Dict[str, Any],
+        min_faults: int,
+        label: str,
+        started: float,
+    ) -> None:
+        since_checkpoint = 0
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures: Dict[Future[Tuple[int, Dict[str, Any]]], ShardSpec] = {
+                pool.submit(_run_shard, self._task(spec, min_faults, label)): spec
+                for spec in pending
+            }
+            try:
+                while futures:
+                    done, _ = wait(
+                        futures, timeout=0.5, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        spec = futures.pop(future)
+                        try:
+                            index, payload = future.result()
+                        except BrokenProcessPool:
+                            report.pool_broken = True
+                            report.failed_shards.append(spec.index)
+                            continue
+                        except Exception:
+                            report.failed_shards.append(spec.index)
+                            continue
+                        completed[index] = ReliabilityResult.from_dict(payload)
+                        report.completed_shards += 1
+                        since_checkpoint += 1
+                        if since_checkpoint >= self.checkpoint_every:
+                            self._write_checkpoint(completed, fingerprint)
+                            since_checkpoint = 0
+                    if report.pool_broken:
+                        for future in list(futures):
+                            future.cancel()
+                            report.failed_shards.append(
+                                futures.pop(future).index
+                            )
+                        break
+                    if self._stop_index(completed, report.failed_shards) is not None:
+                        report.stopped_early = True
+                        self._cancel_all(futures)
+                        break
+                    if self._out_of_budget(started):
+                        report.budget_exhausted = True
+                        self._cancel_all(futures)
+                        break
+            except KeyboardInterrupt:
+                # Graceful drain: stop dispatching, let running shards
+                # finish, fold them in, then re-raise for run() to flag.
+                self._cancel_all(futures)
+                for future, spec in futures.items():
+                    if future.cancelled():
+                        continue
+                    try:
+                        index, payload = future.result()
+                    except Exception:
+                        report.failed_shards.append(spec.index)
+                        continue
+                    completed[index] = ReliabilityResult.from_dict(payload)
+                    report.completed_shards += 1
+                raise
+
+    @staticmethod
+    def _cancel_all(
+        futures: Dict[Future[Tuple[int, Dict[str, Any]]], ShardSpec]
+    ) -> None:
+        for future in futures:
+            future.cancel()
+
+    # ------------------------------------------------------------------ #
+    def _task(self, spec: ShardSpec, min_faults: int, label: str) -> _ShardTask:
+        return _ShardTask(
+            spec=spec,
+            geometry=self.geometry,
+            rates=self.rates,
+            model=self.model,
+            config=self.config,
+            min_faults=min_faults,
+            label=label,
+            crash=self.crash_injection,
+        )
+
+    def _out_of_budget(self, started: float) -> bool:
+        return (
+            self.time_budget_s is not None
+            and time.monotonic() - started >= self.time_budget_s
+        )
+
+    def _stop_index(
+        self,
+        completed: Dict[int, ReliabilityResult],
+        failed: Sequence[int],
+    ) -> Optional[int]:
+        """Smallest shard index k such that the early-stop rule holds on
+        the contiguous prefix 0..k — or None.
+
+        Only contiguous prefixes are considered so the decision depends
+        on the shard plan, never on completion order; a failed shard
+        breaks the prefix and disables stopping past it.
+        """
+        if self.early_stop is None or not completed:
+            return None
+        failed_set = set(failed)
+        prefix = ReliabilityResult.identity()
+        k = 0
+        while k in completed:
+            if k in failed_set:
+                return None
+            prefix = prefix.merge(completed[k])
+            if self.early_stop.satisfied(prefix):
+                return k
+            k += 1
+        return None
+
+    def _merge(
+        self,
+        shards: Sequence[ShardSpec],
+        completed: Dict[int, ReliabilityResult],
+        report: CampaignReport,
+    ) -> ReliabilityResult:
+        stop = self._stop_index(completed, report.failed_shards)
+        indices = sorted(completed)
+        if stop is not None:
+            report.stopped_early = True
+            indices = [i for i in indices if i <= stop]
+        report.merged_shards = len(indices)
+        return ReliabilityResult.merge_all(completed[i] for i in indices)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def _fingerprint(
+        self, trials: int, min_faults: int, label: str
+    ) -> Dict[str, Any]:
+        """Identity of the shard plan; a checkpoint from a different plan
+        must never be silently merged into this campaign."""
+        return {
+            "version": CHECKPOINT_VERSION,
+            "root_seed": self.root_seed,
+            "trials": trials,
+            "shard_size": self.shard_size,
+            "min_faults": min_faults,
+            "label": label,
+            "model": self.model.name,
+            "engine_config": asdict(self.config),
+            "rates_tsv_fit": self.rates.tsv_device_fit,
+        }
+
+    def _write_checkpoint(
+        self,
+        completed: Dict[int, ReliabilityResult],
+        fingerprint: Dict[str, Any],
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        payload = {
+            "fingerprint": fingerprint,
+            "shards": {
+                str(i): completed[i].to_dict() for i in sorted(completed)
+            },
+        }
+        tmp = self.checkpoint_path.with_suffix(
+            self.checkpoint_path.suffix + ".tmp"
+        )
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(payload, indent=1))
+        os.replace(tmp, self.checkpoint_path)
+
+    def _load_checkpoint(
+        self, fingerprint: Dict[str, Any]
+    ) -> Dict[int, ReliabilityResult]:
+        path = self.checkpoint_path
+        assert path is not None
+        if not path.exists():
+            return {}
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+        saved = payload.get("fingerprint")
+        if saved != fingerprint:
+            raise CheckpointError(
+                f"checkpoint {path} belongs to a different campaign: "
+                f"saved fingerprint {saved!r} != expected {fingerprint!r}"
+            )
+        try:
+            return {
+                int(index): ReliabilityResult.from_dict(shard)
+                for index, shard in payload["shards"].items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed shard table in checkpoint {path}: {exc}"
+            ) from exc

@@ -1,11 +1,23 @@
-"""Statistics for Monte-Carlo reliability experiments."""
+"""Statistics for Monte-Carlo reliability experiments.
+
+Results form a commutative monoid under :meth:`ReliabilityResult.merge`:
+shards produced by the parallel runner (one per seed stratum) combine in
+any order into the same aggregate, with :meth:`ReliabilityResult.identity`
+as the neutral element.  Order-insensitivity is achieved by keeping the
+per-trial sample lists (failure times, sparing demands) in sorted order,
+so the merged aggregate is a canonical form independent of shard
+completion order — the property the checkpoint/resume machinery and the
+``workers=N`` determinism guarantee rest on.
+"""
 
 from __future__ import annotations
 
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import MergeError
 
 
 @dataclass
@@ -22,6 +34,32 @@ class SparingStats:
         for rows in self.rows_per_faulty_bank:
             hist[rows] = hist.get(rows, 0) + 1
         return dict(sorted(hist.items()))
+
+    def merge(self, other: "SparingStats") -> "SparingStats":
+        """Order-insensitive union of two shards' sparing samples."""
+        return SparingStats(
+            rows_per_faulty_bank=sorted(
+                self.rows_per_faulty_bank + other.rows_per_faulty_bank
+            ),
+            failed_banks_per_trial=sorted(
+                self.failed_banks_per_trial + other.failed_banks_per_trial
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rows_per_faulty_bank": list(self.rows_per_faulty_bank),
+            "failed_banks_per_trial": list(self.failed_banks_per_trial),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SparingStats":
+        return cls(
+            rows_per_faulty_bank=[int(x) for x in data["rows_per_faulty_bank"]],
+            failed_banks_per_trial=[
+                int(x) for x in data["failed_banks_per_trial"]
+            ],
+        )
 
     def failed_bank_distribution(self) -> Dict[str, float]:
         """P(#failed banks = 1 / 2 / 3+), conditioned on >= 1 (Table III)."""
@@ -50,6 +88,148 @@ class ReliabilityResult:
     #: Failure-mode attribution: "kind+kind" -> count (when collected).
     failure_modes: Counter[str] = field(default_factory=Counter)
 
+    # ------------------------------------------------------------------ #
+    # Monoid structure (parallel shard merging)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def identity(cls) -> "ReliabilityResult":
+        """The neutral element of :meth:`merge` — an empty shard that
+        adopts the other operand's metadata."""
+        return cls(scheme_name="", trials=0, failures=0)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.trials == 0 and not self.scheme_name
+
+    def canonical(self) -> "ReliabilityResult":
+        """The order-insensitive canonical form every merge produces:
+        per-trial sample lists sorted, everything else unchanged."""
+        sparing = (
+            SparingStats(
+                rows_per_faulty_bank=sorted(self.sparing.rows_per_faulty_bank),
+                failed_banks_per_trial=sorted(
+                    self.sparing.failed_banks_per_trial
+                ),
+            )
+            if self.sparing is not None
+            else None
+        )
+        return ReliabilityResult(
+            scheme_name=self.scheme_name,
+            trials=self.trials,
+            failures=self.failures,
+            stratum_weight=self.stratum_weight,
+            lifetime_hours=self.lifetime_hours,
+            min_faults=self.min_faults,
+            sparing=sparing,
+            failure_times_hours=sorted(self.failure_times_hours),
+            failure_modes=Counter(self.failure_modes),
+        )
+
+    def _merge_compatible(self, other: "ReliabilityResult") -> bool:
+        # Exact equality is deliberate: shards of one campaign carry
+        # bit-identical metadata, and "close" stratum weights would mean
+        # different plans whose estimates must not be pooled.
+        return (
+            self.scheme_name == other.scheme_name
+            and self.stratum_weight == other.stratum_weight  # reprolint: disable=REPRO003
+            and self.lifetime_hours == other.lifetime_hours  # reprolint: disable=REPRO003
+            and self.min_faults == other.min_faults
+        )
+
+    def merge(self, other: "ReliabilityResult") -> "ReliabilityResult":
+        """Combine two shards of the same experiment into one aggregate.
+
+        Commutative and associative: sample lists are re-sorted into a
+        canonical order, so any merge tree over the same shard set yields
+        an identical result.  Raises :class:`~repro.errors.MergeError`
+        when the shards disagree on scheme, stratum weight, lifetime or
+        min-fault stratum (they would not be estimating the same
+        probability).
+        """
+        if self.is_identity:
+            return other.canonical()
+        if other.is_identity:
+            return self.canonical()
+        if not self._merge_compatible(other):
+            raise MergeError(
+                f"cannot merge incompatible shards: "
+                f"({self.scheme_name!r}, w={self.stratum_weight!r}, "
+                f"life={self.lifetime_hours!r}, k={self.min_faults}) vs "
+                f"({other.scheme_name!r}, w={other.stratum_weight!r}, "
+                f"life={other.lifetime_hours!r}, k={other.min_faults})"
+            )
+        sparing: Optional[SparingStats] = None
+        if self.sparing is not None or other.sparing is not None:
+            sparing = (self.sparing or SparingStats()).merge(
+                other.sparing or SparingStats()
+            )
+        return ReliabilityResult(
+            scheme_name=self.scheme_name,
+            trials=self.trials + other.trials,
+            failures=self.failures + other.failures,
+            stratum_weight=self.stratum_weight,
+            lifetime_hours=self.lifetime_hours,
+            min_faults=self.min_faults,
+            sparing=sparing,
+            failure_times_hours=sorted(
+                self.failure_times_hours + other.failure_times_hours
+            ),
+            failure_modes=self.failure_modes + other.failure_modes,
+        )
+
+    @classmethod
+    def merge_all(
+        cls, results: Iterable["ReliabilityResult"]
+    ) -> "ReliabilityResult":
+        """Fold :meth:`merge` over ``results`` (identity when empty)."""
+        merged = cls.identity()
+        for result in results:
+            merged = merged.merge(result)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # JSON serialization (checkpoint files, golden fixtures)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "scheme_name": self.scheme_name,
+            "trials": self.trials,
+            "failures": self.failures,
+            "stratum_weight": self.stratum_weight,
+            "lifetime_hours": self.lifetime_hours,
+            "min_faults": self.min_faults,
+            "failure_times_hours": list(self.failure_times_hours),
+            "failure_modes": dict(self.failure_modes),
+        }
+        if self.sparing is not None:
+            data["sparing"] = self.sparing.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReliabilityResult":
+        sparing = (
+            SparingStats.from_dict(data["sparing"])
+            if data.get("sparing") is not None
+            else None
+        )
+        return cls(
+            scheme_name=str(data["scheme_name"]),
+            trials=int(data["trials"]),
+            failures=int(data["failures"]),
+            stratum_weight=float(data["stratum_weight"]),
+            lifetime_hours=float(data["lifetime_hours"]),
+            min_faults=int(data["min_faults"]),
+            sparing=sparing,
+            failure_times_hours=[
+                float(t) for t in data["failure_times_hours"]
+            ],
+            failure_modes=Counter(
+                {str(k): int(v) for k, v in data["failure_modes"].items()}
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
     @property
     def failure_probability(self) -> float:
         """Unbiased estimate of the per-lifetime system failure probability."""

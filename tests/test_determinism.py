@@ -15,6 +15,7 @@ from repro.core.parity3dp import make_1dp, make_3dp
 from repro.faults.injector import FaultInjector
 from repro.faults.rates import FailureRates
 from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
+from repro.reliability.parallel import ParallelLifetimeRunner
 from repro.rng import DEFAULT_SEED, derive_seed, make_rng
 from repro.stack.geometry import StackGeometry
 from repro.workloads import rate_mode_traces
@@ -90,6 +91,55 @@ class TestMonteCarloDeterminism:
             b.failures,
             b.failure_times_hours,
         )
+
+
+class TestParallelRunnerDeterminism:
+    """The sharded runner's worker count must never change the numbers."""
+
+    def run_parallel(self, geom, workers, **cfg):
+        runner = ParallelLifetimeRunner(
+            geom,
+            FailureRates.paper_baseline(tsv_device_fit=100.0),
+            make_1dp(geom),
+            EngineConfig(**cfg),
+            root_seed=42,
+            workers=workers,
+            shard_size=200,
+        )
+        return runner.run(trials=800)
+
+    def test_workers_1_vs_4_identical_merged_results(self, geom):
+        a = self.run_parallel(geom, workers=1)
+        b = self.run_parallel(geom, workers=4)
+        assert a == b  # byte-identical aggregate, the PR's core contract
+        assert a.failure_times_hours == b.failure_times_hours
+        assert a.stratum_weight == b.stratum_weight
+
+    def test_workers_identical_with_mitigations(self, geom):
+        cfg = dict(tsv_swap_standby=4, use_dds=True,
+                   collect_failure_modes=True, collect_sparing_stats=True)
+        a = self.run_parallel(geom, workers=1, **cfg)
+        b = self.run_parallel(geom, workers=4, **cfg)
+        assert a == b
+        assert a.failure_modes == b.failure_modes
+        assert a.sparing == b.sparing
+
+    def test_same_root_seed_identical_across_runs(self, geom):
+        assert self.run_parallel(geom, workers=2) == self.run_parallel(
+            geom, workers=2
+        )
+
+    def test_different_root_seeds_diverge(self, geom):
+        runner = ParallelLifetimeRunner(
+            geom,
+            FailureRates.paper_baseline(tsv_device_fit=100.0),
+            make_1dp(geom),
+            EngineConfig(),
+            root_seed=43,
+            workers=1,
+            shard_size=200,
+        )
+        assert runner.run(trials=800) != self.run_parallel(geom, workers=1)
 
 
 class TestInjectorDeterminism:

@@ -1,0 +1,73 @@
+"""Golden-value regression tests for the paper-figure experiments.
+
+``tests/golden/*.json`` pins the exact sharded Monte-Carlo outputs of
+the Figure 14 and Figure 18 experiments at reduced trial counts, under
+fixed root seeds and a fixed shard plan.  A refactor of the trial loop,
+fault sampling, striping, or shard/merge machinery that shifts any
+number — failure counts, failure times, stratum weights — fails these
+tests, so paper figures cannot drift silently.
+
+Legitimately intended changes are re-pinned with::
+
+    PYTHONPATH=src python tools/regen_goldens.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.reliability.experiments import fig14_experiment, fig18_experiment
+from repro.reliability.results import ReliabilityResult
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def load(name):
+    return json.loads((GOLDEN_DIR / name).read_text())
+
+
+def assert_matches_golden(results, golden_results):
+    assert sorted(results) == sorted(golden_results)
+    for key, result in results.items():
+        expected = ReliabilityResult.from_dict(golden_results[key])
+        assert result == expected, (
+            f"{key}: Monte-Carlo output drifted from the golden fixture "
+            f"(got {result.failures}/{result.trials} failures, expected "
+            f"{expected.failures}/{expected.trials}); if this change is "
+            f"intended, regenerate with tools/regen_goldens.py"
+        )
+
+
+class TestGoldenFigures:
+    def test_fig14_small_matches_golden(self, geometry):
+        golden = load("fig14_small.json")
+        results = fig14_experiment(
+            geometry, golden["trials"], shard_size=golden["shard_size"]
+        )
+        assert_matches_golden(results, golden["results"])
+
+    def test_fig18_small_matches_golden(self, geometry):
+        golden = load("fig18_small.json")
+        results = fig18_experiment(
+            geometry,
+            golden["symbol_trials"],
+            golden["citadel_trials"],
+            shard_size=golden["shard_size"],
+        )
+        assert_matches_golden(results, golden["results"])
+
+    def test_goldens_have_resolving_power(self):
+        """A fixture with zero failures everywhere could not detect a
+        biased refactor; require every pinned experiment to have at
+        least one failing scheme and sane counts."""
+        for name in ("fig14_small.json", "fig18_small.json"):
+            golden = load(name)
+            total_failures = 0
+            for key, payload in golden["results"].items():
+                result = ReliabilityResult.from_dict(payload)
+                assert result.trials > 0
+                assert 0 <= result.failures <= result.trials
+                assert len(result.failure_times_hours) == result.failures
+                total_failures += result.failures
+            assert total_failures > 0, name

@@ -1,0 +1,273 @@
+"""Tests for the parallel sharded Monte-Carlo runner.
+
+Covers the shard plan, worker-count independence, checkpoint/resume
+round-trips, the wall-clock budget, graceful interrupt draining, early
+stopping, and fault tolerance when a worker crashes mid-campaign.
+"""
+
+import json
+
+import pytest
+
+import repro.reliability.parallel as parallel_mod
+from repro.core.parity3dp import make_1dp
+from repro.errors import CheckpointError, ContractViolation
+from repro.faults.rates import FailureRates
+from repro.reliability import (
+    CrashInjection,
+    EarlyStopPolicy,
+    ParallelLifetimeRunner,
+    ReliabilityResult,
+    shard_plan,
+)
+from repro.reliability.montecarlo import EngineConfig
+from repro.rng import derive_seed
+
+#: High-ish fault rates so a few hundred trials produce failures.
+RATES = FailureRates.paper_baseline(tsv_device_fit=100.0)
+
+TRIALS = 800
+SHARD = 200
+
+
+def make_runner(geometry, **kwargs):
+    kwargs.setdefault("root_seed", 42)
+    kwargs.setdefault("shard_size", SHARD)
+    return ParallelLifetimeRunner(
+        geometry, RATES, make_1dp(geometry), EngineConfig(), **kwargs
+    )
+
+
+class TestShardPlan:
+    def test_covers_trials_exactly(self):
+        plan = shard_plan(1000, 300, root_seed=7)
+        assert [s.trials for s in plan] == [300, 300, 300, 100]
+        assert [s.index for s in plan] == [0, 1, 2, 3]
+
+    def test_seeds_derived_from_root(self):
+        plan = shard_plan(600, 200, root_seed=7)
+        assert [s.seed for s in plan] == [
+            derive_seed(7, "shard", i) for i in range(3)
+        ]
+
+    def test_independent_of_anything_else(self):
+        assert shard_plan(1000, 300, 7) == shard_plan(1000, 300, 7)
+        assert shard_plan(1000, 300, 7) != shard_plan(1000, 300, 8)
+
+    def test_zero_trials_empty_plan(self):
+        assert shard_plan(0, 100, 1) == []
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(ContractViolation):
+            shard_plan(100, 0, 1)
+        with pytest.raises(ContractViolation):
+            shard_plan(-1, 100, 1)
+
+
+class TestWorkerCountIndependence:
+    def test_two_workers_match_serial(self, geometry):
+        serial = make_runner(geometry, workers=1).run(trials=TRIALS)
+        pooled = make_runner(geometry, workers=2).run(trials=TRIALS)
+        assert serial == pooled
+
+    def test_matches_merged_per_shard_serial_runs(self, geometry):
+        """The pooled aggregate is exactly the merge of the plan's
+        shards run one by one through the serial engine."""
+        from repro.reliability.montecarlo import LifetimeSimulator
+
+        pooled = make_runner(geometry, workers=2).run(trials=TRIALS)
+        shards = []
+        for spec in shard_plan(TRIALS, SHARD, root_seed=42):
+            sim = LifetimeSimulator(
+                geometry, RATES, make_1dp(geometry), EngineConfig(),
+                seed=spec.seed,
+            )
+            shards.append(
+                sim.run(trials=spec.trials, min_faults=pooled.min_faults)
+            )
+        assert ReliabilityResult.merge_all(shards) == pooled
+
+    def test_zero_trials(self, geometry):
+        result = make_runner(geometry, workers=1).run(trials=0)
+        assert result.trials == 0 and result.failures == 0
+
+
+class TestCheckpointResume:
+    def test_checkpoint_written_and_resumable(self, geometry, tmp_path):
+        cp = tmp_path / "cp.json"
+        reference = make_runner(geometry, workers=1).run(trials=TRIALS)
+        make_runner(geometry, workers=1, checkpoint_path=cp).run(trials=TRIALS)
+        assert cp.exists()
+        runner = make_runner(
+            geometry, workers=1, checkpoint_path=cp, resume=True
+        )
+        resumed = runner.run(trials=TRIALS)
+        assert resumed == reference
+        assert runner.last_report.resumed_shards == TRIALS // SHARD
+        assert runner.last_report.completed_shards == 0
+
+    def test_resume_after_crash_equals_uninterrupted(self, geometry, tmp_path):
+        cp = tmp_path / "cp.json"
+        crashed = make_runner(
+            geometry, workers=1, checkpoint_path=cp,
+            crash_injection=CrashInjection(raise_on=frozenset({1})),
+        )
+        partial = crashed.run(trials=TRIALS)
+        assert partial.trials == TRIALS - SHARD  # shard 1 missing
+        assert crashed.last_report.failed_shards == [1]
+        assert crashed.last_report.partial
+
+        resumed = make_runner(
+            geometry, workers=1, checkpoint_path=cp, resume=True
+        ).run(trials=TRIALS)
+        reference = make_runner(geometry, workers=1).run(trials=TRIALS)
+        assert resumed == reference
+
+    def test_resume_after_budget_exhaustion(self, geometry, tmp_path):
+        cp = tmp_path / "cp.json"
+        budgeted = make_runner(
+            geometry, workers=1, checkpoint_path=cp, time_budget_s=1e-9
+        )
+        partial = budgeted.run(trials=TRIALS)
+        assert partial.trials == 0
+        assert budgeted.last_report.budget_exhausted
+        assert budgeted.last_report.partial
+
+        resumed = make_runner(
+            geometry, workers=1, checkpoint_path=cp, resume=True
+        ).run(trials=TRIALS)
+        assert resumed == make_runner(geometry, workers=1).run(trials=TRIALS)
+
+    def test_foreign_checkpoint_rejected(self, geometry, tmp_path):
+        cp = tmp_path / "cp.json"
+        make_runner(geometry, workers=1, checkpoint_path=cp).run(trials=TRIALS)
+        other = make_runner(
+            geometry, workers=1, root_seed=43, checkpoint_path=cp, resume=True
+        )
+        with pytest.raises(CheckpointError):
+            other.run(trials=TRIALS)
+
+    def test_corrupt_checkpoint_rejected(self, geometry, tmp_path):
+        cp = tmp_path / "cp.json"
+        cp.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            make_runner(
+                geometry, workers=1, checkpoint_path=cp, resume=True
+            ).run(trials=TRIALS)
+
+    def test_checkpoint_is_valid_json_shard_table(self, geometry, tmp_path):
+        cp = tmp_path / "cp.json"
+        make_runner(geometry, workers=1, checkpoint_path=cp).run(trials=TRIALS)
+        payload = json.loads(cp.read_text())
+        assert sorted(payload["shards"]) == ["0", "1", "2", "3"]
+        shard0 = ReliabilityResult.from_dict(payload["shards"]["0"])
+        assert shard0.trials == SHARD
+
+
+class TestFaultTolerance:
+    def test_worker_exception_yields_accurate_partial(self, geometry):
+        runner = make_runner(
+            geometry, workers=2,
+            crash_injection=CrashInjection(raise_on=frozenset({2})),
+        )
+        result = runner.run(trials=TRIALS)
+        report = runner.last_report
+        assert report.failed_shards == [2]
+        assert report.merged_shards == 3
+        # No double counting, no hang: exactly the three surviving
+        # shards' trials are reported.
+        assert result.trials == TRIALS - SHARD
+        assert result.failures <= result.trials
+
+    def test_hard_worker_death_yields_partial_not_hang(self, geometry):
+        runner = make_runner(
+            geometry, workers=2,
+            crash_injection=CrashInjection(exit_on=frozenset({1})),
+        )
+        result = runner.run(trials=TRIALS)
+        report = runner.last_report
+        assert report.pool_broken
+        assert report.partial
+        assert 1 in report.failed_shards
+        # Trial count matches exactly the shards that completed.
+        assert result.trials == SHARD * report.merged_shards
+        assert result.trials < TRIALS
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_drains_to_partial(self, geometry, monkeypatch):
+        real_run_shard = parallel_mod._run_shard
+        seen = []
+
+        def interrupting(task):
+            if task.spec.index == 2:
+                raise KeyboardInterrupt
+            seen.append(task.spec.index)
+            return real_run_shard(task)
+
+        monkeypatch.setattr(parallel_mod, "_run_shard", interrupting)
+        runner = make_runner(geometry, workers=1)
+        result = runner.run(trials=TRIALS)
+        assert runner.last_report.interrupted
+        assert runner.last_report.partial
+        assert result.trials == 2 * SHARD
+        assert seen == [0, 1]
+
+    def test_interrupt_checkpoints_completed_shards(
+        self, geometry, tmp_path, monkeypatch
+    ):
+        real_run_shard = parallel_mod._run_shard
+
+        def interrupting(task):
+            if task.spec.index == 1:
+                raise KeyboardInterrupt
+            return real_run_shard(task)
+
+        cp = tmp_path / "cp.json"
+        monkeypatch.setattr(parallel_mod, "_run_shard", interrupting)
+        make_runner(geometry, workers=1, checkpoint_path=cp).run(trials=TRIALS)
+        monkeypatch.setattr(parallel_mod, "_run_shard", real_run_shard)
+        resumed = make_runner(
+            geometry, workers=1, checkpoint_path=cp, resume=True
+        ).run(trials=TRIALS)
+        assert resumed == make_runner(geometry, workers=1).run(trials=TRIALS)
+
+
+class TestEarlyStop:
+    POLICY = EarlyStopPolicy(rel_halfwidth=0.9, min_failures=3)
+
+    def test_stops_on_prefix_and_is_deterministic(self, geometry):
+        serial = make_runner(
+            geometry, workers=1, shard_size=100, early_stop=self.POLICY
+        )
+        pooled = make_runner(
+            geometry, workers=2, shard_size=100, early_stop=self.POLICY
+        )
+        a = serial.run(trials=4000)
+        b = pooled.run(trials=4000)
+        assert serial.last_report.stopped_early
+        assert a == b
+        assert a.trials < 4000
+        # An early stop is a deliberate decision, not a partial failure.
+        assert not serial.last_report.partial
+
+    def test_policy_requires_failure_floor(self):
+        tight = EarlyStopPolicy(rel_halfwidth=0.5, min_failures=10)
+        few = ReliabilityResult(
+            scheme_name="x", trials=1000, failures=2, stratum_weight=1.0
+        )
+        assert not tight.satisfied(few)
+
+    def test_policy_validates_parameters(self):
+        with pytest.raises(ContractViolation):
+            EarlyStopPolicy(rel_halfwidth=0.0)
+
+
+class TestValidation:
+    def test_bad_worker_count_rejected(self, geometry):
+        with pytest.raises(ContractViolation):
+            make_runner(geometry, workers=0)
+
+    def test_bad_checkpoint_interval_rejected(self, geometry):
+        with pytest.raises(ContractViolation):
+            make_runner(geometry, workers=1, checkpoint_every=0)

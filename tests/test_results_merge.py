@@ -1,0 +1,159 @@
+"""Property-based tests for the ReliabilityResult merge monoid.
+
+:meth:`ReliabilityResult.merge` is the algebra the parallel runner's
+worker-count independence rests on: shards must combine associatively
+and commutatively, with the empty shard as identity, and survive a JSON
+round-trip (the checkpoint format) unchanged.  Hypothesis drives the
+shard generator; a fallback seeded-randomized loop is unnecessary since
+the CI image ships hypothesis.
+"""
+
+import json
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MergeError
+from repro.reliability.results import ReliabilityResult, SparingStats
+
+#: Shared shard metadata — merge requires it to match, so strategies fix
+#: it and vary only the per-shard samples.
+META = dict(
+    scheme_name="3DP + TSV-Swap",
+    stratum_weight=0.25,
+    lifetime_hours=61320.0,
+    min_faults=2,
+)
+
+MODES = ["column+subarray", "subarray+subarray", "column+column+tsv"]
+
+
+@st.composite
+def shards(draw):
+    """One plausible shard: failures <= trials, one time per failure."""
+    trials = draw(st.integers(min_value=1, max_value=500))
+    failures = draw(st.integers(min_value=0, max_value=min(trials, 30)))
+    times = draw(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=META["lifetime_hours"],
+                allow_nan=False,
+            ),
+            min_size=failures,
+            max_size=failures,
+        )
+    )
+    modes = Counter(
+        dict(
+            zip(
+                MODES,
+                draw(
+                    st.lists(
+                        st.integers(0, 10),
+                        min_size=len(MODES),
+                        max_size=len(MODES),
+                    )
+                ),
+            )
+        )
+    )
+    modes = Counter({k: v for k, v in modes.items() if v})
+    sparing = None
+    if draw(st.booleans()):
+        sparing = SparingStats(
+            rows_per_faulty_bank=draw(st.lists(st.integers(1, 70000),
+                                               max_size=8)),
+            failed_banks_per_trial=draw(st.lists(st.integers(1, 4),
+                                                 max_size=4)),
+        )
+    return ReliabilityResult(
+        trials=trials,
+        failures=failures,
+        failure_times_hours=times,
+        failure_modes=modes,
+        sparing=sparing,
+        **META,
+    )
+
+
+class TestMergeMonoid:
+    @settings(max_examples=80, deadline=None)
+    @given(shards(), shards())
+    def test_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards(), shards(), shards())
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards())
+    def test_identity(self, a):
+        e = ReliabilityResult.identity()
+        assert a.merge(e) == a.canonical()
+        assert e.merge(a) == a.canonical()
+        assert e.merge(ReliabilityResult.identity()).is_identity
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(shards(), max_size=6))
+    def test_merge_all_counts(self, shard_list):
+        merged = ReliabilityResult.merge_all(shard_list)
+        assert merged.trials == sum(s.trials for s in shard_list)
+        assert merged.failures == sum(s.failures for s in shard_list)
+        assert len(merged.failure_times_hours) == sum(
+            len(s.failure_times_hours) for s in shard_list
+        )
+        assert merged.failure_modes == sum(
+            (s.failure_modes for s in shard_list), Counter()
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards(), shards())
+    def test_estimator_is_trial_weighted_mean(self, a, b):
+        merged = a.merge(b)
+        expected = (
+            META["stratum_weight"]
+            * (a.failures + b.failures)
+            / (a.trials + b.trials)
+        )
+        assert merged.failure_probability == pytest.approx(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shards())
+    def test_incompatible_metadata_rejected(self, a):
+        other = ReliabilityResult(
+            scheme_name=META["scheme_name"],
+            trials=10,
+            failures=0,
+            stratum_weight=META["stratum_weight"] / 2,
+            lifetime_hours=META["lifetime_hours"],
+            min_faults=META["min_faults"],
+        )
+        with pytest.raises(MergeError):
+            a.merge(other)
+
+
+class TestSerialization:
+    @settings(max_examples=80, deadline=None)
+    @given(shards())
+    def test_json_round_trip(self, a):
+        # Through actual JSON text, as the checkpoint file does.
+        payload = json.loads(json.dumps(a.to_dict()))
+        assert ReliabilityResult.from_dict(payload) == a
+
+    @settings(max_examples=40, deadline=None)
+    @given(shards(), shards())
+    def test_round_trip_then_merge(self, a, b):
+        restored = ReliabilityResult.from_dict(a.to_dict())
+        assert restored.merge(b) == a.merge(b)
+
+    def test_sparing_round_trip(self):
+        stats = SparingStats(
+            rows_per_faulty_bank=[1, 8192, 65536],
+            failed_banks_per_trial=[1, 2],
+        )
+        assert SparingStats.from_dict(stats.to_dict()) == stats

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Regenerate the golden Monte-Carlo fixtures under tests/golden/.
+
+Usage: PYTHONPATH=src python tools/regen_goldens.py
+
+The fixtures pin the exact sharded-campaign outputs of the Figure 14 and
+Figure 18 experiments at reduced trial counts (see
+``tests/test_golden_bench.py``).  Regenerate them ONLY when a change to
+the trial loop, fault sampling, or shard plan is *intended* to shift
+paper numbers — and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.reliability.experiments import fig14_experiment, fig18_experiment
+from repro.stack.geometry import StackGeometry
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+#: Small-but-not-trivial budgets: a couple of seconds total, while still
+#: producing nonzero failure counts for every scheme.
+FIG14_TRIALS = 2000
+FIG18_SYMBOL_TRIALS = 2000
+FIG18_CITADEL_TRIALS = 6000
+SHARD_SIZE = 500
+
+
+def main() -> int:
+    geometry = StackGeometry()
+    fixtures = {
+        "fig14_small.json": {
+            "trials": FIG14_TRIALS,
+            "shard_size": SHARD_SIZE,
+            "results": {
+                key: result.to_dict()
+                for key, result in fig14_experiment(
+                    geometry, FIG14_TRIALS, shard_size=SHARD_SIZE
+                ).items()
+            },
+        },
+        "fig18_small.json": {
+            "symbol_trials": FIG18_SYMBOL_TRIALS,
+            "citadel_trials": FIG18_CITADEL_TRIALS,
+            "shard_size": SHARD_SIZE,
+            "results": {
+                key: result.to_dict()
+                for key, result in fig18_experiment(
+                    geometry,
+                    FIG18_SYMBOL_TRIALS,
+                    FIG18_CITADEL_TRIALS,
+                    shard_size=SHARD_SIZE,
+                ).items()
+            },
+        },
+    }
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, payload in fixtures.items():
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
