@@ -10,6 +10,7 @@ import pytest
 from conftest import PERF_CONFIGS, emit
 from repro.analysis.report import ExperimentReport
 from repro.perf import SystemSimulator
+from repro.telemetry.registry import MetricsRegistry
 from repro.workloads import SUITES, rate_mode_traces, suite_of
 
 PAPER_AVERAGE = 0.85
@@ -24,11 +25,20 @@ def test_fig13_parity_caching(benchmark, geometry, perf_sweep):
         rounds=1, iterations=1,
     )
 
+    # The hit rates come from the telemetry counters the simulator
+    # mirrors into each run's registry — not from PerfResult — so this
+    # bench also pins the observability path end to end.
     per_suite = {suite: [] for suite in SUITES}
     for bench, configs in perf_sweep.items():
         result = configs["3dp_cached"]["result"]
-        if result.parity_lookups:
-            per_suite[suite_of(bench)].append(result.parity_hit_rate)
+        registry = configs["3dp_cached"]["metrics"]
+        lookups = registry.counter("perf/parity_lookups")
+        assert lookups == result.parity_lookups
+        assert registry.counter("perf/parity_hits") == result.parity_hits
+        if lookups:
+            per_suite[suite_of(bench)].append(
+                registry.counter("perf/parity_hits") / lookups
+            )
 
     suite_rates = {
         suite: sum(rates) / len(rates)
@@ -47,7 +57,10 @@ def test_fig13_parity_caching(benchmark, geometry, perf_sweep):
     report.add("GMEAN/average", PAPER_AVERAGE, overall, unit="%")
     report.note("paper: ~85% average; BioBench low (read-dominated) but "
                 "harmless because writes are rare")
-    emit(report, "fig13_parity_caching")
+    merged = MetricsRegistry.merge_all(
+        [configs["3dp_cached"]["metrics"] for configs in perf_sweep.values()]
+    )
+    emit(report, "fig13_parity_caching", metrics=merged)
 
     assert overall == pytest.approx(PAPER_AVERAGE, abs=0.12)
     # BioBench has the lowest hit rate of all suites.

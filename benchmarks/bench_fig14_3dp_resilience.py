@@ -12,9 +12,10 @@ EXPERIMENTS.md for the full analysis).
 
 import pytest
 
-from conftest import BENCH_WORKERS, emit, scaled
+from conftest import BENCH_TELEMETRY, BENCH_WORKERS, emit, scaled
 from repro.analysis.report import ExperimentReport
 from repro.reliability.experiments import fig14_experiment
+from repro.telemetry.registry import MetricsRegistry
 
 TRIALS = scaled(20000)
 
@@ -22,7 +23,10 @@ TRIALS = scaled(20000)
 @pytest.mark.benchmark(group="fig14")
 def test_fig14_3dp_resilience(benchmark, geometry):
     def experiment():
-        return fig14_experiment(geometry, TRIALS, workers=BENCH_WORKERS)
+        return fig14_experiment(
+            geometry, TRIALS, workers=BENCH_WORKERS,
+            collect_metrics=BENCH_TELEMETRY,
+        )
 
     results = benchmark.pedantic(experiment, rounds=1, iterations=1)
 
@@ -42,7 +46,10 @@ def test_fig14_3dp_resilience(benchmark, geometry):
                unit="x", note="paper ~7x")
     report.note("ordering reproduces; step magnitudes are compressed by "
                 "accumulated permanent column/subarray collisions (no DDS)")
-    emit(report, "fig14_3dp_resilience")
+    merged = MetricsRegistry.merge_all(
+        [r.metrics for r in results.values() if r.metrics is not None]
+    )
+    emit(report, "fig14_3dp_resilience", metrics=merged)
 
     assert p["1dp"] > p["2dp"] > 0
     assert p["2dp"] >= p["3dp"] > 0

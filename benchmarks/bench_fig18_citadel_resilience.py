@@ -9,9 +9,10 @@ spare budget) can still combine into data loss.
 
 import pytest
 
-from conftest import BENCH_WORKERS, emit, scaled
+from conftest import BENCH_TELEMETRY, BENCH_WORKERS, emit, scaled
 from repro.analysis.report import ExperimentReport
 from repro.reliability.experiments import fig18_experiment
+from repro.telemetry.registry import MetricsRegistry
 
 SYMBOL_TRIALS = scaled(20000)
 CITADEL_TRIALS = scaled(120000)
@@ -21,7 +22,8 @@ CITADEL_TRIALS = scaled(120000)
 def test_fig18_citadel_resilience(benchmark, geometry):
     def experiment():
         return fig18_experiment(
-            geometry, SYMBOL_TRIALS, CITADEL_TRIALS, workers=BENCH_WORKERS
+            geometry, SYMBOL_TRIALS, CITADEL_TRIALS, workers=BENCH_WORKERS,
+            collect_metrics=BENCH_TELEMETRY,
         )
 
     results = benchmark.pedantic(experiment, rounds=1, iterations=1)
@@ -44,7 +46,10 @@ def test_fig18_citadel_resilience(benchmark, geometry):
                note=f">= {floor_improvement:.0f}x at 95% CI")
     report.note("paper: ~700x; DDS removes 99.995% of transient and "
                 "99.996% of permanent faults per scrub interval")
-    emit(report, "fig18_citadel_resilience")
+    merged = MetricsRegistry.merge_all(
+        [r.metrics for r in results.values() if r.metrics is not None]
+    )
+    emit(report, "fig18_citadel_resilience", metrics=merged)
 
     # Citadel beats the striped code by a large factor even at the
     # conservative end of the confidence interval.

@@ -11,10 +11,15 @@ Environment knobs (used by the CI benchmark-smoke job):
   (default 1).  Results are byte-identical for any value.
 * ``REPRO_BENCH_SCALE`` — divide every reliability trial count by this
   factor (default 1, floor 500 trials) for smoke runs.
+* ``REPRO_BENCH_TELEMETRY`` — when "1", reliability campaigns collect
+  deterministic engine metrics (``collect_metrics=True``); results stay
+  byte-identical either way.  Perf sweeps always record event counters
+  (they cost a handful of dict writes per run).
 """
 
 import os
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
@@ -23,6 +28,8 @@ from repro.analysis.report import ExperimentReport
 from repro.perf import PerfConfig, PowerModel, SystemSimulator
 from repro.reliability.experiments import run_campaign
 from repro.stack.striping import StripingPolicy
+from repro.telemetry.files import write_json_atomic
+from repro.telemetry.registry import MetricsRegistry
 from repro.workloads import PROFILES, rate_mode_traces
 
 #: Monte-Carlo worker processes (sharded results do not depend on this).
@@ -30,6 +37,9 @@ BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 #: Trial-count divisor for smoke runs.
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+#: Collect engine metrics in reliability campaigns (CI smoke sets "1").
+BENCH_TELEMETRY = os.environ.get("REPRO_BENCH_TELEMETRY", "0") == "1"
 
 
 def scaled(trials: int, floor: int = 500) -> int:
@@ -79,10 +89,14 @@ def perf_sweep(geometry):
         )
         per_config = {}
         for config_name, config in PERF_CONFIGS.items():
-            result = SystemSimulator(geometry, config).run(traces)
+            metrics = MetricsRegistry()
+            result = SystemSimulator(geometry, config, metrics=metrics).run(
+                traces
+            )
             per_config[config_name] = {
                 "result": result,
                 "power_mw": power_model.active_power_mw(result.counters),
+                "metrics": metrics,
             }
         sweep[name] = per_config
     return sweep
@@ -100,16 +114,30 @@ def run_reliability(
     geometry, rates, model, trials, seed, label=None, min_faults=None, **cfg
 ):
     """One sharded Monte-Carlo reliability measurement with a fixed root
-    seed (byte-identical for any ``REPRO_BENCH_WORKERS``)."""
+    seed (byte-identical for any ``REPRO_BENCH_WORKERS`` and with
+    telemetry on or off)."""
+    cfg.setdefault("collect_metrics", BENCH_TELEMETRY)
     return run_campaign(
         geometry, rates, model, trials, seed,
         label=label, min_faults=min_faults, workers=BENCH_WORKERS, **cfg
     )
 
 
-def emit(report: ExperimentReport, name: str) -> None:
-    """Print the report and persist it under results/."""
+def emit(
+    report: ExperimentReport,
+    name: str,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Print the report and persist it (and its metrics) under results/.
+
+    When a registry is given it lands in ``results/metrics/<name>.json``,
+    where ``tools/bench_report.py`` picks it up for the BENCH artifact.
+    """
     text = report.render()
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if metrics is not None and not metrics.is_empty:
+        write_json_atomic(
+            RESULTS_DIR / "metrics" / f"{name}.json", metrics.to_dict()
+        )

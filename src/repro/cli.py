@@ -8,21 +8,33 @@ Commands
     Run a Monte-Carlo lifetime study for one scheme.
 ``perf``
     Simulate one benchmark under the five memory organizations.
+``stats``
+    Summarize telemetry artifacts (metrics JSON, trace JSONL).
 ``workloads``
     List the synthetic benchmark profiles.
 ``schemes``
     List the available correction schemes.
+
+Output discipline: **stdout carries only results** (summaries, tables,
+``--json`` documents); every human-facing progress or bookkeeping line
+goes to **stderr**, so ``python -m repro ... > results.txt`` captures a
+clean artifact even with ``--progress`` enabled.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.core.citadel import CitadelConfig
 from repro.core.parity3dp import make_1dp, make_2dp, make_3dp
 from repro.ecc import BCHCode, RAID5, SECDED, SymbolCode, TwoDimECC
+from repro.errors import ReproError, TelemetryError
 from repro.faults.rates import FailureRates
 from repro.perf import PerfConfig, PowerModel, SystemSimulator
 from repro.reliability.montecarlo import EngineConfig
@@ -33,6 +45,14 @@ from repro.reliability.parallel import (
 )
 from repro.stack.geometry import StackGeometry
 from repro.stack.striping import StripingPolicy
+from repro.telemetry.console import err, out
+from repro.telemetry.files import write_json_atomic
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.stats import (
+    derived_stats,
+    load_metrics_file,
+    summarize_trace,
+)
 from repro.workloads import PROFILES, rate_mode_traces
 from repro.workloads.generator import DEFAULT_CORES
 
@@ -100,6 +120,19 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument("--early-stop", type=float, default=None, metavar="REL",
                      help="stop once the 95%% CI half-width is below REL "
                           "of the failure probability (e.g. 0.1)")
+    rel.add_argument("--telemetry", action="store_true",
+                     help="collect deterministic engine metrics "
+                          "(implied by --metrics-out)")
+    rel.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="write the merged metrics registry as JSON")
+    rel.add_argument("--trace-out", metavar="FILE", default=None,
+                     help="write a structured JSONL span/event trace")
+    rel.add_argument("--trace-sample-every", type=int, default=100,
+                     metavar="N", help="trace every Nth trial (default 100)")
+    rel.add_argument("--progress", action="store_true",
+                     help="stderr heartbeat: shards done, trials/s, ETA")
+    rel.add_argument("--json", action="store_true",
+                     help="emit the result as a JSON document on stdout")
 
     perf = sub.add_parser("perf", help="performance/power simulation")
     perf.add_argument("--benchmark", choices=sorted(PROFILES), default="mcf")
@@ -111,31 +144,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--configs", nargs="+", choices=sorted(PERF_CONFIGS),
         default=sorted(PERF_CONFIGS),
     )
+    perf.add_argument("--telemetry", action="store_true",
+                      help="collect event-counter metrics "
+                           "(implied by --metrics-out)")
+    perf.add_argument("--metrics-out", metavar="FILE", default=None,
+                      help="write the run's metrics registry as JSON")
+    perf.add_argument("--json", action="store_true",
+                      help="emit results as a JSON document on stdout")
+
+    stats = sub.add_parser(
+        "stats", help="summarize telemetry artifacts from earlier runs"
+    )
+    stats.add_argument("--metrics", metavar="FILE", nargs="*", default=[],
+                       help="metrics JSON files (merged before rendering); "
+                            "reliability --json documents also work")
+    stats.add_argument("--trace", metavar="FILE", default=None,
+                       help="JSONL trace file to summarize")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON on stdout")
     return parser
 
 
 # ---------------------------------------------------------------------- #
 def cmd_overhead(_args: argparse.Namespace) -> int:
     overhead = CitadelConfig().storage_overhead()
-    print("Citadel storage overhead (§VII-E):")
-    print(f"  metadata die       : {overhead.metadata_die_fraction:.3%}")
-    print(f"  dim-1 parity bank  : {overhead.parity_bank_fraction:.3%}")
-    print(f"  total DRAM         : {overhead.dram_fraction:.3%} "
-          "(ECC DIMM: 12.5%)")
-    print(f"  dim-2/3 parity SRAM: {overhead.sram_parity_bytes} B")
-    print(f"  RRT SRAM           : {overhead.sram_rrt_bytes} B")
-    print(f"  BRT SRAM           : {overhead.sram_brt_bytes} B")
-    print(f"  total SRAM         : {overhead.sram_bytes} B (~35 KB)")
+    out("Citadel storage overhead (§VII-E):")
+    out(f"  metadata die       : {overhead.metadata_die_fraction:.3%}")
+    out(f"  dim-1 parity bank  : {overhead.parity_bank_fraction:.3%}")
+    out(f"  total DRAM         : {overhead.dram_fraction:.3%} "
+        "(ECC DIMM: 12.5%)")
+    out(f"  dim-2/3 parity SRAM: {overhead.sram_parity_bytes} B")
+    out(f"  RRT SRAM           : {overhead.sram_rrt_bytes} B")
+    out(f"  BRT SRAM           : {overhead.sram_brt_bytes} B")
+    out(f"  total SRAM         : {overhead.sram_bytes} B (~35 KB)")
     return 0
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
-    print(f"{'benchmark':<12} {'suite':<10} {'MPKI':>6} {'wr%':>5} "
-          f"{'locality':>9} {'MLP':>4}")
+    out(f"{'benchmark':<12} {'suite':<10} {'MPKI':>6} {'wr%':>5} "
+        f"{'locality':>9} {'MLP':>4}")
     for name in sorted(PROFILES):
         p = PROFILES[name]
-        print(f"{p.name:<12} {p.suite:<10} {p.mpki:>6.1f} "
-              f"{p.write_fraction:>5.0%} {p.locality:>9.2f} {p.mlp:>4}")
+        out(f"{p.name:<12} {p.suite:<10} {p.mpki:>6.1f} "
+            f"{p.write_fraction:>5.0%} {p.locality:>9.2f} {p.mlp:>4}")
     return 0
 
 
@@ -144,7 +195,7 @@ def cmd_schemes(_args: argparse.Namespace) -> int:
     for name in sorted(SCHEMES):
         model = SCHEMES[name](geometry)
         extra = " (= 3dp + --tsv-swap 4 --dds)" if name == "citadel" else ""
-        print(f"{name:<24} {model.name}{extra}")
+        out(f"{name:<24} {model.name}{extra}")
     return 0
 
 
@@ -156,6 +207,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     if args.scheme == "citadel":
         tsv_swap = 4 if tsv_swap is None else tsv_swap
         use_dds = True
+    collect_metrics = args.telemetry or args.metrics_out is not None
     model = SCHEMES[args.scheme](geometry)
     runner = ParallelLifetimeRunner(
         geometry,
@@ -166,6 +218,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
             use_dds=use_dds,
             scrub_interval_hours=args.scrub_hours,
             collect_failure_modes=args.modes,
+            collect_metrics=collect_metrics,
         ),
         root_seed=args.seed,
         workers=args.workers,
@@ -181,14 +234,31 @@ def cmd_reliability(args: argparse.Namespace) -> int:
             if args.early_stop is not None
             else None
         ),
+        progress=args.progress,
+        trace_path=args.trace_out,
+        trace_sample_every=args.trace_sample_every,
     )
     result = runner.run(trials=args.trials)
-    print(result.summary())
     report = runner.last_report
+    if args.metrics_out is not None:
+        registry = result.metrics if result.metrics is not None else (
+            MetricsRegistry()
+        )
+        write_json_atomic(Path(args.metrics_out), registry.to_dict())
+        err(f"metrics written to {args.metrics_out}")
+    if args.trace_out is not None:
+        err(f"trace written to {args.trace_out}")
+    if args.json:
+        document: Dict[str, Any] = {"result": result.to_dict()}
+        if report is not None:
+            document["campaign"] = asdict(report)
+        out(json.dumps(document, indent=1, sort_keys=True))
+        return 0
+    out(result.summary())
     if report is not None and (
         report.partial or report.stopped_early or report.resumed_shards
     ):
-        print(
+        err(
             f"campaign: {report.merged_shards}/{report.planned_shards} "
             f"shards merged ({report.resumed_shards} resumed, "
             f"{len(report.failed_shards)} failed)"
@@ -197,15 +267,20 @@ def cmd_reliability(args: argparse.Namespace) -> int:
             + (", time budget exhausted" if report.budget_exhausted else "")
         )
     if args.modes and result.failure_modes:
-        print("failure modes:")
+        out("failure modes:")
         for mode, count in result.top_failure_modes():
-            print(f"  {mode:<40} {count}")
+            out(f"  {mode:<40} {count}")
     return 0
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
     geometry = StackGeometry()
     power_model = PowerModel(geometry)
+    registry = (
+        MetricsRegistry()
+        if (args.telemetry or args.metrics_out is not None)
+        else None
+    )
     traces = rate_mode_traces(
         args.benchmark,
         geometry,
@@ -213,28 +288,111 @@ def cmd_perf(args: argparse.Namespace) -> int:
         requests_per_core=args.requests,
         seed=args.seed,
     )
-    print(f"{args.benchmark}: {args.cores} cores x {args.requests} requests")
-    print(f"{'config':<16} {'cycles':>12} {'norm time':>10} {'norm power':>11} "
-          f"{'row hit':>8} {'parity hit':>11}")
+    err(f"{args.benchmark}: {args.cores} cores x {args.requests} requests")
     baseline = None
     # Normalize against Same-Bank when it is selected.
     canonical = [c for c in PERF_CONFIGS if c in args.configs]
     canonical.sort(key=lambda c: c != "same-bank")
+    rows: Dict[str, Dict[str, Any]] = {}
     for name in canonical:
-        result = SystemSimulator(geometry, PERF_CONFIGS[name]).run(traces)
+        result = SystemSimulator(
+            geometry, PERF_CONFIGS[name], metrics=registry
+        ).run(traces)
         power = power_model.active_power_mw(result.counters)
         if baseline is None:
             baseline = (result.exec_cycles, power)
+        rows[name] = {
+            "exec_cycles": result.exec_cycles,
+            "norm_time": result.exec_cycles / baseline[0],
+            "norm_power": power / baseline[1],
+            "row_buffer_hit_rate": result.row_buffer_hit_rate,
+            "parity_lookups": result.parity_lookups,
+            "parity_hit_rate": result.parity_hit_rate,
+        }
+    if args.metrics_out is not None:
+        assert registry is not None
+        write_json_atomic(Path(args.metrics_out), registry.to_dict())
+        err(f"metrics written to {args.metrics_out}")
+    if args.json:
+        out(json.dumps(
+            {
+                "benchmark": args.benchmark,
+                "cores": args.cores,
+                "requests_per_core": args.requests,
+                "results": rows,
+            },
+            indent=1,
+            sort_keys=True,
+        ))
+        return 0
+    out(f"{'config':<16} {'cycles':>12} {'norm time':>10} {'norm power':>11} "
+        f"{'row hit':>8} {'parity hit':>11}")
+    for name, row in rows.items():
         parity = (
-            f"{result.parity_hit_rate:>10.1%}" if result.parity_lookups
+            f"{row['parity_hit_rate']:>10.1%}" if row["parity_lookups"]
             else f"{'-':>10}"
         )
-        print(
-            f"{name:<16} {result.exec_cycles:>12} "
-            f"{result.exec_cycles / baseline[0]:>9.3f}x "
-            f"{power / baseline[1]:>10.2f}x "
-            f"{result.row_buffer_hit_rate:>7.1%} {parity}"
+        out(
+            f"{name:<16} {row['exec_cycles']:>12} "
+            f"{row['norm_time']:>9.3f}x "
+            f"{row['norm_power']:>10.2f}x "
+            f"{row['row_buffer_hit_rate']:>7.1%} {parity}"
         )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+def cmd_stats(args: argparse.Namespace) -> int:
+    if not args.metrics and args.trace is None:
+        err("stats: pass --metrics and/or --trace (nothing to summarize)")
+        return 2
+    registry: Optional[MetricsRegistry] = None
+    if args.metrics:
+        registry = MetricsRegistry.merge_all(
+            [load_metrics_file(Path(p)) for p in args.metrics]
+        )
+    trace_summary = (
+        summarize_trace(Path(args.trace)) if args.trace is not None else None
+    )
+    if args.json:
+        document: Dict[str, Any] = {}
+        if registry is not None:
+            document["metrics"] = registry.to_dict()
+            document["derived"] = derived_stats(registry)
+        if trace_summary is not None:
+            document["trace"] = trace_summary
+        out(json.dumps(document, indent=1, sort_keys=True))
+        return 0
+    if registry is not None:
+        derived = derived_stats(registry)
+        dims = derived.get("parity_corrections_by_dimension")
+        if dims:
+            out("3DP corrections by dimension:")
+            for dim, count in sorted(dims.items()):
+                out(f"  {dim:<6} {count}")
+        causes = derived.get("uncorrectable_causes")
+        if causes:
+            out("uncorrectable fault combinations:")
+            for cause, count in sorted(causes.items()):
+                out(f"  {cause:<40} {count}")
+        if "parity_cache_hit_rate" in derived:
+            out(f"parity cache hit rate: "
+                f"{derived['parity_cache_hit_rate']:.1%}")
+        if "trials" in derived:
+            out(f"trials: {derived['trials']}  "
+                f"failures: {derived['failures']}  "
+                f"faults sampled: {derived['faults_sampled']}")
+        out("")
+        out(registry.render())
+    if trace_summary is not None:
+        out("trace spans:")
+        for name, entry in sorted(trace_summary["spans"].items()):
+            out(f"  {name:<12} n={entry['count']} "
+                f"total={entry['total_seconds']:.3f}s")
+        if trace_summary["events"]:
+            out("trace events:")
+            for name, count in sorted(trace_summary["events"].items()):
+                out(f"  {name:<12} n={count}")
     return 0
 
 
@@ -244,12 +402,26 @@ COMMANDS = {
     "schemes": cmd_schemes,
     "reliability": cmd_reliability,
     "perf": cmd_perf,
+    "stats": cmd_stats,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except TelemetryError as exc:
+        err(f"error: {exc}")
+        return 2
+    except ReproError as exc:
+        err(f"error: {exc}")
+        return 1
+    except BrokenPipeError:
+        # Downstream consumer closed stdout (``repro stats | head``);
+        # detach so the interpreter's exit-time flush cannot raise too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,6 +41,7 @@ from repro.faults.types import Fault, FaultKind
 from repro.rng import make_rng
 from repro.stack.geometry import StackGeometry
 from repro.stack.tsv import TSVClass, TSVId
+from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclass
@@ -75,6 +76,7 @@ class CitadelDatapath:
         enable_tsv_swap: bool = True,
         enable_dds: bool = True,
         seed: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.geometry = geometry if geometry is not None else StackGeometry.small()
         g = self.geometry
@@ -96,8 +98,11 @@ class CitadelDatapath:
         # Per-line CRC-32 metadata (the metadata die's CRC banks).
         self._crc: Dict[int, int] = {}
 
+        #: Observability hook mirroring :class:`DatapathStats` into the
+        #: shared registry (``crc/`` namespace) when set.
+        self.metrics = metrics
         self.tsv_swap = TSVSwapController(g, standby_count=2)
-        self.dds = DDSController(g)
+        self.dds = DDSController(g, metrics=metrics)
         self.stats = DatapathStats()
         # DDS remaps: (die, bank) -> coarse spare bank; row remaps.
         self._bank_remap: Dict[Tuple[int, int], Tuple[int, int]] = {}
@@ -216,6 +221,8 @@ class CitadelDatapath:
         if self._crc_ok(address, data):
             return data
         self.stats.crc_mismatches += 1
+        if self.metrics is not None:
+            self.metrics.inc("crc/detections")
         # Phase 1: is it a TSV fault?  BIST + TSV-Swap (§V-C2).
         if self.enable_tsv_swap and self._run_tsv_bist(die):
             data = self._read_raw_line(die, bank, row, slot)
@@ -225,10 +232,14 @@ class CitadelDatapath:
         recovered = self._reconstruct(address, die, bank, row, slot)
         if recovered is None:
             self.stats.uncorrectable += 1
+            if self.metrics is not None:
+                self.metrics.inc("crc/uncorrectable")
             raise UncorrectableError(
                 f"line {address} unrecoverable through any parity dimension"
             )
         self.stats.corrections += 1
+        if self.metrics is not None:
+            self.metrics.inc("crc/corrections")
         if self.enable_dds:
             self._spare_after_correction(address, die, bank, row, slot, recovered)
         return recovered
@@ -262,6 +273,8 @@ class CitadelDatapath:
             )
             if self.tsv_swap.try_repair(tsv) is not None:
                 self.stats.tsv_repairs += 1
+                if self.metrics is not None:
+                    self.metrics.inc("tsvswap/bist_repairs")
                 repaired = True
         return repaired
 

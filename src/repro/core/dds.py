@@ -35,6 +35,7 @@ from repro import contracts
 from repro.errors import ConfigurationError
 from repro.faults.types import Fault
 from repro.stack.geometry import BITS_PER_BYTE, StackGeometry
+from repro.telemetry.registry import MetricsRegistry
 
 #: RRT provisioning: spare rows per bank (§VII-B).
 DEFAULT_SPARE_ROWS_PER_BANK = 4
@@ -91,12 +92,17 @@ class DDSController:
         geometry: StackGeometry,
         spare_rows_per_bank: int = DEFAULT_SPARE_ROWS_PER_BANK,
         spare_banks: int = DEFAULT_SPARE_BANKS,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if spare_rows_per_bank < 0:
             raise ConfigurationError("spare_rows_per_bank must be >= 0")
         if spare_banks < 0:
             raise ConfigurationError("spare_banks must be >= 0")
         self.geometry = geometry
+        #: Observability hook: sparing decisions are counted under
+        #: ``dds/`` when set.  Recording depends only on the fault stream,
+        #: keeping shard metrics merge-deterministic.
+        self.metrics = metrics
         self.spare_rows_per_bank = spare_rows_per_bank
         self.spare_banks = spare_banks
         self._banks: Dict[Tuple[int, int], BankSparingState] = {}
@@ -162,6 +168,11 @@ class DDSController:
                 report.not_spared.append(fault)
                 still_live.append(fault)
         still_live.extend(report.re_exposed)
+        if self.metrics is not None:
+            self.metrics.inc("dds/row_spared", len(report.row_spared))
+            self.metrics.inc("dds/bank_spared", len(report.bank_spared))
+            self.metrics.inc("dds/not_spared", len(report.not_spared))
+            self.metrics.inc("dds/re_exposed", len(report.re_exposed))
         return still_live, report
 
     # ------------------------------------------------------------------ #
@@ -177,6 +188,8 @@ class DDSController:
         return bool(fault.footprint.banks & spare)
 
     def _degrade_spare_area(self, fault: Fault, report: SparingReport) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("dds/spare_area_degraded")
         banks = fault.footprint.banks
         for slot, spare_bank in enumerate(self.coarse_spare_banks):
             if spare_bank in banks and slot not in self._dead_brt_slots:

@@ -37,7 +37,7 @@ Self-aliasing rules per dimension:
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence
+from typing import FrozenSet, List, Optional, Sequence
 
 from repro import contracts
 from repro.ecc.base import CorrectionModel
@@ -110,17 +110,33 @@ class ParityND(CorrectionModel):
             for f in faults
             if any(not self.geometry.is_metadata_die(d) for d in f.footprint.dies)
         ]
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.inc("parity/checks")
         changed = True
         while changed and live:
             changed = False
             survivors: List[Fault] = []
             for fault in live:
                 others = [g for g in live if g.uid != fault.uid]
-                if self._peelable(fault, others):
+                dim = self._peel_dimension(fault, others)
+                if dim is not None:
                     changed = True
+                    if metrics is not None:
+                        # Correction-path mix (Fig. 13/14 attribution):
+                        # one count per peel event, keyed by the dimension
+                        # that recovered the fault and by the fault kind.
+                        metrics.inc(f"parity/corrected/dim{dim}")
+                        metrics.inc(
+                            f"parity/corrected_kind/{fault.kind.value}"
+                        )
                 else:
                     survivors.append(fault)
             live = survivors
+        if metrics is not None and live:
+            metrics.inc("parity/uncorrectable")
+            cause = "+".join(sorted(f.kind.value for f in live))
+            metrics.inc(f"parity/uncorrectable_cause/{cause}")
         if contracts.enabled():
             original = {f.uid for f in faults}
             contracts.ensure(
@@ -129,12 +145,25 @@ class ParityND(CorrectionModel):
             )
         return live
 
+    def _peel_dimension(
+        self, fault: Fault, others: Sequence[Fault]
+    ) -> Optional[int]:
+        """Lowest dimension able to peel ``fault``, or None.
+
+        Dimensions are tried in ascending order, mirroring the paper's
+        decode order (dim-1 parity bank first), so the telemetry's
+        per-dimension correction counts attribute each recovery to the
+        cheapest dimension that could have performed it.
+        """
+        for dim in sorted(self.dimensions):
+            if not self._self_alias(fault, dim) and not any(
+                self._alias(fault, other, dim) for other in others
+            ):
+                return dim
+        return None
+
     def _peelable(self, fault: Fault, others: Sequence[Fault]) -> bool:
-        return any(
-            not self._self_alias(fault, dim)
-            and not any(self._alias(fault, other, dim) for other in others)
-            for dim in sorted(self.dimensions)
-        )
+        return self._peel_dimension(fault, others) is not None
 
     # ------------------------------------------------------------------ #
     def _self_alias(self, fault: Fault, dim: int) -> bool:

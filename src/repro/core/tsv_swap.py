@@ -33,6 +33,7 @@ from repro.errors import CapacityError, ConfigurationError
 from repro.faults.types import Fault, FaultKind
 from repro.stack.geometry import StackGeometry
 from repro.stack.tsv import TSVClass, TSVId, standby_dtsv_indices, validate_tsv
+from repro.telemetry.registry import MetricsRegistry
 
 #: Stand-by DTSVs per channel in the paper's design (§V-C1).
 DEFAULT_STANDBY_TSVS = 4
@@ -153,12 +154,16 @@ def apply_tsv_swap(
     faults: Sequence[Fault],
     geometry: StackGeometry,
     standby_count: int = DEFAULT_STANDBY_TSVS,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[List[Fault], TSVSwapController]:
     """Filter a time-ordered fault history through TSV-Swap.
 
     Returns the faults still visible to the ECC layer (all DRAM faults,
     plus TSV faults the per-channel pools could not absorb) and the
-    controller state after processing.
+    controller state after processing.  When ``metrics`` is given, the
+    repair decision mix is counted under ``tsvswap/`` (Fig. 9
+    attribution); recording reads only the fault stream, never a clock
+    or RNG, so the counters merge deterministically across shards.
     """
     controller = TSVSwapController(geometry, standby_count)
     visible: List[Fault] = []
@@ -166,6 +171,8 @@ def apply_tsv_swap(
         if not fault.kind.is_tsv:
             visible.append(fault)
             continue
+        if metrics is not None:
+            metrics.inc("tsvswap/tsv_faults")
         tsv = TSVId(
             channel=fault.channel,
             tsv_class=(
@@ -176,7 +183,13 @@ def apply_tsv_swap(
             index=fault.tsv_index,
         )
         if controller.redirect(tsv) is not None:
+            if metrics is not None:
+                metrics.inc("tsvswap/already_rewired")
             continue  # this TSV already failed and was rewired
         if controller.try_repair(tsv) is None:
+            if metrics is not None:
+                metrics.inc("tsvswap/pool_exhausted")
             visible.append(fault)
+        elif metrics is not None:
+            metrics.inc("tsvswap/repaired")
     return visible, controller

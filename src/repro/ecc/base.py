@@ -14,15 +14,23 @@ for stratified sampling of rare failures.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.faults.footprint import RangeMask
 from repro.faults.types import Fault
 from repro.stack.geometry import StackGeometry
+from repro.telemetry.registry import MetricsRegistry
 
 
 class CorrectionModel(abc.ABC):
     """Decides correctability of a set of concurrent faults."""
+
+    #: Optional observability hook: when the lifetime simulator runs with
+    #: telemetry enabled it points this at the shard's registry, and the
+    #: model records correction-path counters (e.g. which 3DP dimension
+    #: peeled a fault).  Recording must be a pure function of the fault
+    #: set — no RNG, no clock — so metrics merge deterministically.
+    metrics: Optional[MetricsRegistry] = None
 
     def __init__(self, geometry: StackGeometry) -> None:
         self.geometry = geometry

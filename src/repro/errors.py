@@ -41,6 +41,12 @@ class CheckpointError(ReproError):
     different shard plan than the resuming run."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry artifact (metrics registry, trace file) is malformed:
+    histogram edges disagree, a trace record fails schema validation, or
+    a metric was recorded inconsistently with its declaration."""
+
+
 class ContractViolation(ReproError):
     """A runtime contract (require/ensure/invariant) was violated.
 

@@ -12,9 +12,10 @@ by both demand lines and parity lines.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, List
+from typing import Hashable, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.telemetry.registry import MetricsRegistry
 
 #: Baseline shared LLC of Table II: 8 MB, 8-way, 64 B lines.
 DEFAULT_LLC_CAPACITY_BYTES = 8 << 20
@@ -33,6 +34,7 @@ class LRUCache:
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(num_sets)]
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @classmethod
     def like_llc(cls, capacity_bytes: int = DEFAULT_LLC_CAPACITY_BYTES,
@@ -57,6 +59,7 @@ class LRUCache:
         self.misses += 1
         if len(cache_set) >= self.ways:
             cache_set.popitem(last=False)
+            self.evictions += 1
         cache_set[key] = True
         return False
 
@@ -69,5 +72,33 @@ class LRUCache:
         return self.hits / total if total else 0.0
 
     def reset_stats(self) -> None:
+        """Zero the counters without touching cache contents."""
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def reset(self) -> None:
+        """Return the cache to its just-constructed state.
+
+        Clears *both* the counters and the per-set LRU insertion-order
+        state: a reused cache whose sets still held lines (and their
+        recency order) would give the next run a warmed-up hit rate.
+        """
+        self.reset_stats()
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def record_metrics(
+        self, registry: Optional[MetricsRegistry], prefix: str = "llc"
+    ) -> None:
+        """Mirror the counters into ``registry`` under ``prefix/``."""
+        if registry is None:
+            return
+        registry.inc(f"{prefix}/hits", self.hits)
+        registry.inc(f"{prefix}/misses", self.misses)
+        registry.inc(f"{prefix}/evictions", self.evictions)
+
+
+#: The dim-1 parity lines live in the ordinary LLC (§VI-C); the "parity
+#: cache" of Figure 13 *is* this LRU cache, shared with demand lines.
+ParityCache = LRUCache

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import contracts
 from repro.errors import ConfigurationError
@@ -26,6 +26,7 @@ from repro.perf.timing import DRAMTimings
 from repro.stack.address import LineLocation
 from repro.stack.geometry import StackGeometry
 from repro.stack.striping import StripingPolicy, sub_accesses
+from repro.telemetry.registry import MetricsRegistry
 from repro.workloads.trace import Trace
 
 
@@ -106,10 +107,16 @@ class SystemSimulator:
         geometry: StackGeometry,
         config: PerfConfig,
         timings: DRAMTimings = DRAMTimings(),
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.geometry = geometry
         self.config = config
         self.timings = timings
+        #: Observability hook: after every :meth:`run`, the run's event
+        #: counters (``perf/``) and LLC statistics (``llc/``) are added
+        #: to this registry.  Purely a mirror of :class:`PerfResult` —
+        #: the simulation itself never reads it.
+        self.metrics = metrics
 
     # ------------------------------------------------------------------ #
     def run(self, traces: Sequence[Trace]) -> PerfResult:
@@ -172,7 +179,24 @@ class SystemSimulator:
                 result.row_hits += bank.row_hits
                 result.row_misses += bank.row_misses
         result.counters.exec_cycles = result.exec_cycles
+        self._record_metrics(result, llc)
         return result
+
+    def _record_metrics(self, result: PerfResult, llc: LRUCache) -> None:
+        registry = self.metrics
+        if registry is None:
+            return
+        llc.record_metrics(registry, prefix="llc")
+        registry.inc("perf/demand_reads", result.demand_reads)
+        registry.inc("perf/demand_writes", result.demand_writes)
+        registry.inc("perf/rbw_reads", result.rbw_reads)
+        registry.inc("perf/parity_lookups", result.parity_lookups)
+        registry.inc("perf/parity_hits", result.parity_hits)
+        registry.inc("perf/parity_fetches", result.parity_fetches)
+        registry.inc("perf/parity_writebacks", result.parity_writebacks)
+        registry.inc("perf/row_hits", result.row_hits)
+        registry.inc("perf/row_misses", result.row_misses)
+        registry.gauge_set("perf/exec_cycles", float(result.exec_cycles))
 
     # ------------------------------------------------------------------ #
     def _serve(

@@ -84,9 +84,13 @@ def fig14_experiment(
     *,
     workers: int = 1,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    **engine_cfg: Any,
 ) -> Dict[str, ReliabilityResult]:
     """Figure 14: 1DP/2DP/3DP vs the striped 8-bit symbol code
-    (TSV-Swap everywhere, TSV FIT at the high end)."""
+    (TSV-Swap everywhere, TSV FIT at the high end).
+
+    Extra kwargs (e.g. ``collect_metrics=True``) feed
+    :class:`EngineConfig`; the sample data is unaffected."""
     rates = FailureRates.paper_baseline(tsv_device_fit=TSV_FIT_HIGH)
     models: Dict[str, CorrectionModel] = {
         "symbol": SymbolCode(geometry, StripingPolicy.ACROSS_CHANNELS),
@@ -98,6 +102,7 @@ def fig14_experiment(
         key: run_campaign(
             geometry, rates, model, trials, FIG14_SEEDS[key],
             workers=workers, shard_size=shard_size, tsv_swap_standby=4,
+            **engine_cfg,
         )
         for key, model in models.items()
     }
@@ -110,9 +115,13 @@ def fig18_experiment(
     *,
     workers: int = 1,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    **engine_cfg: Any,
 ) -> Dict[str, ReliabilityResult]:
     """Figure 18: Citadel (3DP + DDS + TSV-Swap) vs the striped symbol
-    code, plus the 3DP-without-DDS ablation point."""
+    code, plus the 3DP-without-DDS ablation point.
+
+    Extra kwargs (e.g. ``collect_metrics=True``) feed
+    :class:`EngineConfig`; the sample data is unaffected."""
     rates = FailureRates.paper_baseline(tsv_device_fit=TSV_FIT_HIGH)
     return {
         "symbol": run_campaign(
@@ -120,16 +129,18 @@ def fig18_experiment(
             SymbolCode(geometry, StripingPolicy.ACROSS_CHANNELS),
             symbol_trials, FIG18_SEEDS["symbol"],
             workers=workers, shard_size=shard_size, tsv_swap_standby=4,
+            **engine_cfg,
         ),
         "citadel": run_campaign(
             geometry, rates, make_3dp(geometry),
             citadel_trials, FIG18_SEEDS["citadel"],
             workers=workers, shard_size=shard_size,
-            tsv_swap_standby=4, use_dds=True,
+            tsv_swap_standby=4, use_dds=True, **engine_cfg,
         ),
         "3dp_only": run_campaign(
             geometry, rates, make_3dp(geometry),
             symbol_trials, FIG18_SEEDS["3dp_only"],
             workers=workers, shard_size=shard_size, tsv_swap_standby=4,
+            **engine_cfg,
         ),
     }

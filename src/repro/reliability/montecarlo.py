@@ -42,6 +42,13 @@ from repro.stack.geometry import (
     SCRUB_INTERVAL_HOURS,
     StackGeometry,
 )
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import TraceWriter
+
+#: Bucket edges of the ``engine/faults_per_trial`` histogram.  Chosen to
+#: resolve the stratified regime (min_faults conditioning makes 2-4 the
+#: common case) while keeping the bucket vector mergeable across shards.
+FAULTS_PER_TRIAL_EDGES = (1.0, 2.0, 3.0, 4.0, 6.0, 10.0, 20.0)
 
 
 @dataclass
@@ -58,6 +65,13 @@ class EngineConfig:
     #: Record, for each failing trial, the combination of live fault
     #: kinds at the moment of failure (e.g. "column+subarray").
     collect_failure_modes: bool = False
+    #: Attach a deterministic :class:`MetricsRegistry` snapshot to the
+    #: result: ``engine/`` trial counters, ``parity/`` per-dimension
+    #: correction counts, ``tsvswap/`` and ``dds/`` decision mixes.  All
+    #: recording is driven by simulated events only (no clock, no extra
+    #: RNG draws), so sample statistics are bit-identical with telemetry
+    #: on or off and shard metrics merge deterministically.
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         contracts.check_non_negative(self.tsv_swap_standby, "tsv_swap_standby")
@@ -86,6 +100,7 @@ class LifetimeSimulator:
         config: Optional[EngineConfig] = None,
         rng: Optional[random.Random] = None,
         seed: Optional[int] = None,
+        tracer: Optional[TraceWriter] = None,
     ) -> None:
         self.geometry = geometry
         self.rates = rates
@@ -93,6 +108,10 @@ class LifetimeSimulator:
         self.config = config if config is not None else EngineConfig()
         self.rng = make_rng(rng, seed)
         self.injector = FaultInjector(geometry, rates, self.rng)
+        #: Optional structured-trace sink: sampled trials become ``trial``
+        #: spans with one ``correction`` event per fault arrival.  Tracing
+        #: never feeds back into the simulation.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------ #
     def default_min_faults(self) -> int:
@@ -115,20 +134,38 @@ class LifetimeSimulator:
         """Run ``trials`` lifetimes and aggregate the failure statistics."""
         strata_min = self.default_min_faults() if min_faults is None else min_faults
         stats = SparingStats() if self.config.collect_sparing_stats else None
+        metrics = MetricsRegistry() if self.config.collect_metrics else None
         failures = 0
         weight = self.injector.prob_at_least(
             strata_min, self.config.lifetime_hours
         ) if strata_min > 0 else 1.0
         failure_times: List[float] = []
         modes: Counter[str] = Counter()
-        for _ in range(trials):
-            outcome = self._run_trial(strata_min, stats)
-            if outcome is not None:
-                failed_at, mode = outcome
-                failures += 1
-                failure_times.append(failed_at)
-                if mode is not None:
-                    modes[mode] += 1
+        previous_model_metrics = self.model.metrics
+        if metrics is not None:
+            self.model.metrics = metrics
+        try:
+            for index in range(trials):
+                tracer = self.tracer
+                if tracer is not None and tracer.should_sample(index):
+                    with tracer.span("trial", index=index):
+                        outcome = self._run_trial(
+                            strata_min, stats, metrics, tracer
+                        )
+                else:
+                    outcome = self._run_trial(strata_min, stats, metrics, None)
+                if outcome is not None:
+                    failed_at, mode = outcome
+                    failures += 1
+                    failure_times.append(failed_at)
+                    if mode is not None:
+                        modes[mode] += 1
+        finally:
+            self.model.metrics = previous_model_metrics
+        if metrics is not None:
+            metrics.inc("engine/trials", trials)
+            metrics.inc("engine/failures", failures)
+            metrics = metrics.deterministic_snapshot()
         return ReliabilityResult(
             scheme_name=label if label is not None else self._label(),
             trials=trials,
@@ -139,6 +176,7 @@ class LifetimeSimulator:
             sparing=stats,
             failure_times_hours=failure_times,
             failure_modes=modes,
+            metrics=metrics,
         )
 
     def scheme_label(self) -> str:
@@ -155,22 +193,34 @@ class LifetimeSimulator:
 
     # ------------------------------------------------------------------ #
     def _run_trial(
-        self, min_faults: int, stats: Optional[SparingStats]
+        self,
+        min_faults: int,
+        stats: Optional[SparingStats],
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[TraceWriter] = None,
     ) -> Optional[Tuple[float, Optional[str]]]:
         """One lifetime; returns (failure time, failure mode) or None."""
         config = self.config
         faults, _ = self.injector.sample_lifetime(
             config.lifetime_hours, min_faults=min_faults
         )
+        if metrics is not None:
+            metrics.inc("engine/faults_sampled", len(faults))
+            metrics.observe(
+                "engine/faults_per_trial",
+                float(len(faults)),
+                edges=FAULTS_PER_TRIAL_EDGES,
+            )
         if config.tsv_swap_standby is not None:
             faults, _ = apply_tsv_swap(
-                faults, self.geometry, config.tsv_swap_standby
+                faults, self.geometry, config.tsv_swap_standby, metrics=metrics
             )
         dds = (
             DDSController(
                 self.geometry,
                 spare_rows_per_bank=config.spare_rows_per_bank,
                 spare_banks=config.spare_banks,
+                metrics=metrics,
             )
             if config.use_dds
             else None
@@ -184,9 +234,20 @@ class LifetimeSimulator:
                 # Scrubbing with no intervening fault is idempotent, so the
                 # scrub passes between two events collapse into one.
                 live = self._scrub(live, dds)
+                if metrics is not None:
+                    metrics.inc("engine/scrub_passes")
                 next_scrub = (fault.time_hours // interval + 1) * interval
             live.append(fault)
-            if self.model.is_uncorrectable(live):
+            uncorrectable = self.model.is_uncorrectable(live)
+            if tracer is not None:
+                tracer.event(
+                    "correction",
+                    kind=fault.kind.value,
+                    time_hours=fault.time_hours,
+                    live=len(live),
+                    uncorrectable=uncorrectable,
+                )
+            if uncorrectable:
                 mode = (
                     self._failure_mode(live)
                     if config.collect_failure_modes

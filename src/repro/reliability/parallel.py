@@ -31,6 +31,21 @@ Robustness features for long campaigns:
   *contiguous shard prefix* is tight enough.  Evaluating the rule on the
   prefix (never on whichever shards happened to finish first) keeps the
   stopped result deterministic across worker counts.
+
+Observability (all opt-in, none of it feeds back into the simulation):
+
+* ``progress=True`` — a throttled stderr heartbeat with shards done,
+  trial throughput, ETA and remaining wall-clock budget.
+* ``trace_path`` — a structured JSONL trace: one ``campaign`` span, one
+  ``shard`` span (serial mode) or ``shard_completed`` event (pool mode)
+  per shard; in serial mode the tracer also reaches the trial loop for
+  sampled ``trial`` spans and ``correction`` events.  Pool workers do
+  not trace (a trace sink does not cross process boundaries).
+* ``last_campaign_metrics`` — wall-clock campaign metrics (shard latency
+  histogram, completion counters).  Deliberately kept *outside* the
+  merged :class:`ReliabilityResult`, whose ``metrics`` sidecar only ever
+  carries the deterministic per-shard snapshots, so the merged result
+  stays byte-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -40,9 +55,21 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import (
+    IO,
+    Any,
+    ContextManager,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro import contracts
 from repro.ecc.base import CorrectionModel
@@ -52,8 +79,17 @@ from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
 from repro.reliability.results import ReliabilityResult
 from repro.rng import derive_seed
 from repro.stack.geometry import StackGeometry
+from repro.telemetry.progress import ProgressReporter
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import TraceWriter
 
-CHECKPOINT_VERSION = 1
+#: v2: ``EngineConfig`` grew ``collect_metrics`` (the fingerprint embeds
+#: ``asdict(config)``, so v1 checkpoints cannot be resumed).
+CHECKPOINT_VERSION = 2
+
+#: Bucket edges (seconds) of the wall-clock shard-latency histogram kept
+#: in ``last_campaign_metrics`` (volatile: never merged into results).
+SHARD_SECONDS_EDGES = (0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0)
 
 #: Default trials per shard: small enough that an 8-worker run of a
 #: 20k-trial bench balances well, large enough that per-shard overhead
@@ -185,27 +221,37 @@ class _ShardTask:
     crash: CrashInjection
 
 
-def _run_shard(task: _ShardTask) -> Tuple[int, Dict[str, Any]]:
-    """Worker entry point (module-level so it pickles)."""
+def _run_shard(
+    task: _ShardTask, tracer: Optional[TraceWriter] = None
+) -> Tuple[int, Dict[str, Any], float]:
+    """Worker entry point (module-level so it pickles).
+
+    Returns ``(shard index, result dict, wall seconds)``.  The elapsed
+    time feeds the parent's volatile campaign metrics only; the result
+    dict carries nothing wall-clock-derived.  ``tracer`` is only ever
+    non-None in the serial (``workers=1``) in-process path.
+    """
     if task.spec.index in task.crash.exit_on:
         os._exit(17)
     if task.spec.index in task.crash.raise_on:
         raise RuntimeError(
             f"injected crash in shard {task.spec.index} (CrashInjection)"
         )
+    started = time.monotonic()
     sim = LifetimeSimulator(
         task.geometry,
         task.rates,
         task.model,
         task.config,
         seed=task.spec.seed,
+        tracer=tracer,
     )
     result = sim.run(
         trials=task.spec.trials,
         min_faults=task.min_faults,
         label=task.label,
     )
-    return task.spec.index, result.to_dict()
+    return task.spec.index, result.to_dict(), time.monotonic() - started
 
 
 class ParallelLifetimeRunner:
@@ -233,6 +279,11 @@ class ParallelLifetimeRunner:
         time_budget_s: Optional[float] = None,
         early_stop: Optional[EarlyStopPolicy] = None,
         crash_injection: Optional[CrashInjection] = None,
+        progress: bool = False,
+        progress_interval_s: float = 1.0,
+        progress_stream: Optional[IO[str]] = None,
+        trace_path: Optional[Union[str, Path]] = None,
+        trace_sample_every: int = 1,
     ) -> None:
         contracts.require(workers >= 1, "workers must be >= 1, got %r", workers)
         contracts.require(
@@ -265,7 +316,18 @@ class ParallelLifetimeRunner:
         self.crash_injection = (
             crash_injection if crash_injection is not None else CrashInjection()
         )
+        self.progress = progress
+        self.progress_interval_s = progress_interval_s
+        self.progress_stream = progress_stream
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.trace_sample_every = trace_sample_every
         self.last_report: Optional[CampaignReport] = None
+        #: Wall-clock campaign observability (shard latency, completion
+        #: counters).  Kept runner-side, never merged into the result.
+        self.last_campaign_metrics: Optional[MetricsRegistry] = None
+        self._reporter: Optional[ProgressReporter] = None
+        self._tracer: Optional[TraceWriter] = None
+        self._campaign: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------ #
     def run(
@@ -301,15 +363,63 @@ class ParallelLifetimeRunner:
             report.resumed_shards = len(completed)
         pending = [s for s in shards if s.index not in completed]
 
+        self._campaign = MetricsRegistry()
+        self._reporter = (
+            ProgressReporter(
+                total_shards=len(shards),
+                total_trials=trials,
+                label=resolved_label,
+                stream=self.progress_stream,
+                min_interval_s=self.progress_interval_s,
+                time_budget_s=self.time_budget_s,
+            )
+            if self.progress
+            else None
+        )
+        self._tracer = (
+            TraceWriter(self.trace_path, sample_every=self.trace_sample_every)
+            if self.trace_path is not None
+            else None
+        )
+        campaign_span: ContextManager[Any] = (
+            self._tracer.span(
+                "campaign",
+                label=resolved_label,
+                trials=trials,
+                shards=len(shards),
+                workers=self.workers,
+            )
+            if self._tracer is not None
+            else nullcontext()
+        )
         try:
-            if self.workers == 1:
-                self._run_serial(pending, completed, report, fingerprint,
-                                 resolved_min, resolved_label, started)
-            else:
-                self._run_pool(pending, completed, report, fingerprint,
-                               resolved_min, resolved_label, started)
-        except KeyboardInterrupt:
-            report.interrupted = True
+            with campaign_span:
+                try:
+                    if self.workers == 1:
+                        self._run_serial(pending, completed, report, fingerprint,
+                                         resolved_min, resolved_label, started)
+                    else:
+                        self._run_pool(pending, completed, report, fingerprint,
+                                       resolved_min, resolved_label, started)
+                except KeyboardInterrupt:
+                    report.interrupted = True
+        finally:
+            if self._reporter is not None:
+                self._reporter.finish(
+                    len(completed), sum(r.trials for r in completed.values())
+                )
+            if self._tracer is not None:
+                self._tracer.close()
+            self._campaign.inc("campaign/shards_completed",
+                               report.completed_shards)
+            self._campaign.inc("campaign/shards_failed",
+                               len(report.failed_shards))
+            if report.pool_broken:
+                self._campaign.inc("campaign/pool_broken")
+            self.last_campaign_metrics = self._campaign
+            self._reporter = None
+            self._tracer = None
+            self._campaign = None
         self._write_checkpoint(completed, fingerprint)
 
         merged = self._merge(shards, completed, report)
@@ -347,13 +457,28 @@ class ParallelLifetimeRunner:
                 report.budget_exhausted = True
                 break
             task = self._task(spec, min_faults, label)
+            tracer = self._tracer
+            shard_span: ContextManager[Any] = (
+                tracer.span("shard", index=spec.index, trials=spec.trials)
+                if tracer is not None
+                else nullcontext()
+            )
             try:
-                index, payload = _run_shard(task)
+                with shard_span:
+                    # Single-arg call when untraced keeps drop-in shims
+                    # (tests monkeypatch ``_run_shard(task)``) working.
+                    index, payload, seconds = (
+                        _run_shard(task, tracer)
+                        if tracer is not None
+                        else _run_shard(task)
+                    )
             except (RuntimeError, OSError):
                 report.failed_shards.append(spec.index)
                 continue
             completed[index] = ReliabilityResult.from_dict(payload)
             report.completed_shards += 1
+            self._observe_shard(seconds)
+            self._emit_progress(completed)
             since_checkpoint += 1
             if since_checkpoint >= self.checkpoint_every:
                 self._write_checkpoint(completed, fingerprint)
@@ -386,7 +511,7 @@ class ParallelLifetimeRunner:
                     for future in done:
                         spec = futures.pop(future)
                         try:
-                            index, payload = future.result()
+                            index, payload, seconds = future.result()
                         except BrokenProcessPool:
                             report.pool_broken = True
                             report.failed_shards.append(spec.index)
@@ -396,6 +521,15 @@ class ParallelLifetimeRunner:
                             continue
                         completed[index] = ReliabilityResult.from_dict(payload)
                         report.completed_shards += 1
+                        self._observe_shard(seconds)
+                        self._emit_progress(completed)
+                        if self._tracer is not None:
+                            self._tracer.event(
+                                "shard_completed",
+                                index=index,
+                                trials=spec.trials,
+                                seconds=seconds,
+                            )
                         since_checkpoint += 1
                         if since_checkpoint >= self.checkpoint_every:
                             self._write_checkpoint(completed, fingerprint)
@@ -423,12 +557,13 @@ class ParallelLifetimeRunner:
                     if future.cancelled():
                         continue
                     try:
-                        index, payload = future.result()
+                        index, payload, seconds = future.result()
                     except Exception:
                         report.failed_shards.append(spec.index)
                         continue
                     completed[index] = ReliabilityResult.from_dict(payload)
                     report.completed_shards += 1
+                    self._observe_shard(seconds)
                 raise
 
     @staticmethod
@@ -450,6 +585,26 @@ class ParallelLifetimeRunner:
             label=label,
             crash=self.crash_injection,
         )
+
+    def _observe_shard(self, seconds: float) -> None:
+        """Record one shard's wall-clock latency (volatile campaign metrics)."""
+        if self._campaign is None:
+            return
+        self._campaign.observe(
+            "campaign/shard_seconds",
+            seconds,
+            edges=SHARD_SECONDS_EDGES,
+            volatile=True,
+        )
+        self._campaign.record_seconds("campaign/shard_time", seconds)
+
+    def _emit_progress(
+        self, completed: Dict[int, ReliabilityResult]
+    ) -> None:
+        if self._reporter is not None:
+            self._reporter.update(
+                len(completed), sum(r.trials for r in completed.values())
+            )
 
     def _out_of_budget(self, started: float) -> bool:
         return (

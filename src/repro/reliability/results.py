@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import MergeError
+from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclass
@@ -87,6 +88,11 @@ class ReliabilityResult:
     failure_times_hours: List[float] = field(default_factory=list)
     #: Failure-mode attribution: "kind+kind" -> count (when collected).
     failure_modes: Counter[str] = field(default_factory=Counter)
+    #: Observability sidecar (deterministic counters/histograms recorded
+    #: by the trial loop when ``EngineConfig.collect_metrics`` is on).
+    #: Excluded from equality so telemetry can never make two otherwise
+    #: identical results — e.g. a run vs its golden fixture — differ.
+    metrics: Optional[MetricsRegistry] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------ #
     # Monoid structure (parallel shard merging)
@@ -124,6 +130,7 @@ class ReliabilityResult:
             sparing=sparing,
             failure_times_hours=sorted(self.failure_times_hours),
             failure_modes=Counter(self.failure_modes),
+            metrics=self.metrics,
         )
 
     def _merge_compatible(self, other: "ReliabilityResult") -> bool:
@@ -164,6 +171,11 @@ class ReliabilityResult:
             sparing = (self.sparing or SparingStats()).merge(
                 other.sparing or SparingStats()
             )
+        metrics: Optional[MetricsRegistry] = None
+        if self.metrics is not None or other.metrics is not None:
+            metrics = (self.metrics or MetricsRegistry()).merge(
+                other.metrics or MetricsRegistry()
+            )
         return ReliabilityResult(
             scheme_name=self.scheme_name,
             trials=self.trials + other.trials,
@@ -176,6 +188,7 @@ class ReliabilityResult:
                 self.failure_times_hours + other.failure_times_hours
             ),
             failure_modes=self.failure_modes + other.failure_modes,
+            metrics=metrics,
         )
 
     @classmethod
@@ -204,6 +217,10 @@ class ReliabilityResult:
         }
         if self.sparing is not None:
             data["sparing"] = self.sparing.to_dict()
+        if self.metrics is not None:
+            # Only present when telemetry was on, so fixtures pinned
+            # without telemetry stay byte-identical.
+            data["metrics"] = self.metrics.to_dict()
         return data
 
     @classmethod
@@ -226,6 +243,11 @@ class ReliabilityResult:
             ],
             failure_modes=Counter(
                 {str(k): int(v) for k, v in data["failure_modes"].items()}
+            ),
+            metrics=(
+                MetricsRegistry.from_dict(data["metrics"])
+                if data.get("metrics") is not None
+                else None
             ),
         )
 

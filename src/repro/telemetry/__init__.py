@@ -1,0 +1,48 @@
+"""repro.telemetry — deterministic observability for the reproduction.
+
+The package provides four pieces, all designed around one constraint:
+*telemetry must never change the numbers*.  Metrics recorded inside the
+Monte-Carlo trial loop are pure functions of the simulated events (no
+wall-clock, no RNG), so the merged metrics of a sharded campaign are
+byte-identical for any worker count, exactly like the sample data they
+ride along with.
+
+* :mod:`repro.telemetry.registry` — :class:`MetricsRegistry`: process-
+  local counters, gauges, fixed-bucket histograms and monotonic timers
+  whose :meth:`~MetricsRegistry.merge` is a commutative monoid.
+* :mod:`repro.telemetry.tracing` — :class:`TraceWriter`: structured
+  JSONL span/event emitter with nested scopes
+  (``campaign > shard > trial > correction``) and a deterministic
+  sampling knob, flushed atomically next to checkpoints.
+* :mod:`repro.telemetry.progress` — :class:`ProgressReporter`: stderr
+  heartbeat for long campaigns (shards done, trials/s, ETA, budget).
+* :mod:`repro.telemetry.console` — ``out()`` / ``err()``: the only
+  sanctioned way for instrumented modules to reach stdout/stderr
+  (enforced by reprolint rule REPRO007).
+"""
+
+from repro.telemetry.console import err, out
+from repro.telemetry.files import atomic_write_text, write_json_atomic
+from repro.telemetry.progress import ProgressReporter
+from repro.telemetry.registry import (
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    monotonic_s,
+)
+from repro.telemetry.tracing import TraceRecord, TraceWriter, read_trace
+
+__all__ = [
+    "MetricsRegistry",
+    "Histogram",
+    "Timer",
+    "monotonic_s",
+    "TraceWriter",
+    "TraceRecord",
+    "read_trace",
+    "ProgressReporter",
+    "out",
+    "err",
+    "atomic_write_text",
+    "write_json_atomic",
+]

@@ -1,0 +1,26 @@
+"""Stdout/stderr discipline helpers.
+
+The CLI contract is: **stdout carries machine-parseable results only**
+(summary lines, tables, ``--json`` documents); every human-oriented
+progress, status or log line goes to **stderr**.  Instrumented modules
+must not call ``print`` directly (reprolint rule REPRO007) — they route
+through these helpers so the contract is greppable and testable.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+
+def out(message: str = "", *, stream: Optional[IO[str]] = None) -> None:
+    """Write one line of machine-parseable output to stdout."""
+    target = sys.stdout if stream is None else stream
+    target.write(message + "\n")
+
+
+def err(message: str = "", *, stream: Optional[IO[str]] = None) -> None:
+    """Write one human-readable progress/log line to stderr."""
+    target = sys.stderr if stream is None else stream
+    target.write(message + "\n")
+    target.flush()

@@ -1,0 +1,33 @@
+"""Atomic file helpers shared by telemetry writers.
+
+Trace and metrics artifacts are written next to campaign checkpoints
+and may be read by another process (``repro stats``, CI collectors)
+while a campaign is still running — so every write is
+write-to-temp-then-rename, the same discipline the checkpoint writer
+uses: a reader sees either the previous complete artifact or the new
+complete artifact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, target)
+    return target
+
+
+def write_json_atomic(path: Union[str, Path], payload: Any) -> Path:
+    """Serialize ``payload`` as stable, indented JSON and write atomically."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,94 @@
+"""Live campaign progress: a throttled stderr heartbeat.
+
+Long parallel campaigns (PR 2) used to run silently for hours.  The
+:class:`ProgressReporter` prints one line per ``min_interval_s`` to
+stderr (stdout stays machine-parseable) with shards done, trial
+throughput, an ETA extrapolated from the completed-trial rate, and the
+remaining wall-clock budget when one is set:
+
+.. code-block:: text
+
+    [campaign] shards 12/40  trials 30000/100000  4521 trials/s  ETA 15s
+
+The reporter only ever *reads* campaign state handed to it — it records
+nothing into the deterministic metrics stream, so enabling progress can
+never change a result.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Callable, Optional
+
+from repro import contracts
+from repro.telemetry.console import err
+from repro.telemetry.registry import monotonic_s
+
+
+class ProgressReporter:
+    """Throttled ``shards/trials/ETA`` heartbeat on stderr."""
+
+    def __init__(
+        self,
+        total_shards: int,
+        total_trials: int,
+        *,
+        label: str = "campaign",
+        stream: Optional[IO[str]] = None,
+        min_interval_s: float = 1.0,
+        time_budget_s: Optional[float] = None,
+        clock: Callable[[], float] = monotonic_s,
+    ) -> None:
+        contracts.check_non_negative(total_shards, "total_shards")
+        contracts.check_non_negative(total_trials, "total_trials")
+        contracts.check_non_negative(min_interval_s, "min_interval_s")
+        self.total_shards = total_shards
+        self.total_trials = total_trials
+        self.label = label
+        self.stream = stream
+        self.min_interval_s = min_interval_s
+        self.time_budget_s = time_budget_s
+        self._clock = clock
+        self._started = clock()
+        self._last_emit: Optional[float] = None
+        self.lines_emitted = 0
+
+    # ------------------------------------------------------------------ #
+    def update(
+        self, shards_done: int, trials_done: int, force: bool = False
+    ) -> bool:
+        """Emit a heartbeat line if the throttle interval has elapsed.
+
+        Returns True when a line was written (tests hook this).
+        """
+        now = self._clock()
+        if (
+            not force
+            and self._last_emit is not None
+            and now - self._last_emit < self.min_interval_s
+        ):
+            return False
+        self._last_emit = now
+        err(self._render(shards_done, trials_done, now), stream=self.stream)
+        self.lines_emitted += 1
+        return True
+
+    def finish(self, shards_done: int, trials_done: int) -> None:
+        """Force a final line so the last state is always visible."""
+        self.update(shards_done, trials_done, force=True)
+
+    # ------------------------------------------------------------------ #
+    def _render(self, shards_done: int, trials_done: int, now: float) -> str:
+        elapsed = max(now - self._started, 1e-9)
+        rate = trials_done / elapsed
+        parts = [
+            f"[{self.label}] shards {shards_done}/{self.total_shards}",
+            f"trials {trials_done}/{self.total_trials}",
+            f"{rate:.0f} trials/s",
+        ]
+        remaining = self.total_trials - trials_done
+        if trials_done and remaining > 0:
+            parts.append(f"ETA {remaining / rate:.0f}s")
+        if self.time_budget_s is not None:
+            left = self.time_budget_s - elapsed
+            parts.append(f"budget {max(left, 0.0):.0f}s left")
+        return "  ".join(parts)

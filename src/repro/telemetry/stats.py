@@ -1,0 +1,84 @@
+"""Shared summarization of telemetry artifacts.
+
+Both the ``repro stats`` CLI subcommand and ``tools/bench_report.py``
+need the same three operations: load a metrics registry out of whatever
+JSON artifact embeds one, reduce raw counters to headline quantities
+(per-dimension 3DP corrections, parity-cache hit rate, trial counts),
+and fold a JSONL trace into span/event tallies.  They live here so the
+two front-ends can never drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.errors import TelemetryError
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import read_trace
+
+
+def load_metrics_file(path: Path) -> MetricsRegistry:
+    """Read a metrics registry from any artifact that embeds one.
+
+    Accepts a bare ``MetricsRegistry.to_dict()`` document, a
+    ``reliability --json`` document (``result.metrics``), or a raw
+    ``ReliabilityResult.to_dict()`` with a ``metrics`` key.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TelemetryError(f"unreadable metrics file {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise TelemetryError(f"{path}: expected a JSON object")
+    if "counters" in data:
+        return MetricsRegistry.from_dict(data)
+    nested = data.get("metrics") or data.get("result", {}).get("metrics")
+    if nested:
+        return MetricsRegistry.from_dict(nested)
+    raise TelemetryError(f"{path}: no metrics registry found")
+
+
+def derived_stats(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Headline quantities computed from raw counters."""
+    derived: Dict[str, Any] = {}
+    corrected = registry.counters_with_prefix("parity/corrected/dim")
+    if corrected:
+        derived["parity_corrections_by_dimension"] = {
+            name.rsplit("/", 1)[1]: count for name, count in corrected.items()
+        }
+    causes = registry.counters_with_prefix("parity/uncorrectable_cause/")
+    if causes:
+        derived["uncorrectable_causes"] = {
+            name.rsplit("/", 1)[1]: count for name, count in causes.items()
+        }
+    lookups = registry.counter("perf/parity_lookups")
+    if lookups:
+        derived["parity_cache_hit_rate"] = (
+            registry.counter("perf/parity_hits") / lookups
+        )
+    trials = registry.counter("engine/trials")
+    if trials:
+        derived["trials"] = trials
+        derived["failures"] = registry.counter("engine/failures")
+        derived["faults_sampled"] = registry.counter("engine/faults_sampled")
+    return derived
+
+
+def summarize_trace(path: Path) -> Dict[str, Any]:
+    """Fold a JSONL trace into per-span and per-event tallies."""
+    spans: Dict[str, Dict[str, Any]] = {}
+    events: Dict[str, int] = {}
+    for record in read_trace(path):
+        if record.kind == "end":
+            entry = spans.setdefault(
+                record.name, {"count": 0, "total_seconds": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_seconds"] += float(
+                record.attrs.get("seconds", 0.0)
+            )
+        elif record.kind == "event":
+            events[record.name] = events.get(record.name, 0) + 1
+    return {"spans": spans, "events": events}

@@ -373,6 +373,51 @@ class TestRepro006:
 
 
 # ---------------------------------------------------------------------- #
+# REPRO007 — telemetry discipline in instrumented modules
+# ---------------------------------------------------------------------- #
+class TestRepro007:
+    def test_flags_print_in_instrumented_module(self, tmp_path):
+        src = "def report(x):\n    print(x)\n"
+        findings = lint_snippet(
+            tmp_path, "src/repro/reliability/foo.py", src, codes=["REPRO007"]
+        )
+        assert codes_of(findings) == ["REPRO007"]
+
+    def test_flags_time_time(self, tmp_path):
+        src = "import time\n\ndef now():\n    return time.time()\n"
+        findings = lint_snippet(
+            tmp_path, "src/repro/core/foo.py", src, codes=["REPRO007"]
+        )
+        assert codes_of(findings) == ["REPRO007"]
+
+    def test_flags_from_time_import_time(self, tmp_path):
+        src = "from time import time\n\ndef now():\n    return time()\n"
+        findings = lint_snippet(
+            tmp_path, "src/repro/perf/foo.py", src, codes=["REPRO007"]
+        )
+        assert codes_of(findings) == ["REPRO007"]
+
+    def test_monotonic_is_allowed(self, tmp_path):
+        src = "import time\n\ndef now():\n    return time.monotonic()\n"
+        assert lint_snippet(
+            tmp_path, "src/repro/reliability/foo.py", src, codes=["REPRO007"]
+        ) == []
+
+    def test_uninstrumented_modules_exempt(self, tmp_path):
+        src = "def report(x):\n    print(x)\n"
+        assert lint_snippet(
+            tmp_path, "src/repro/analysis/foo.py", src, codes=["REPRO007"]
+        ) == []
+
+    def test_telemetry_package_exempt(self, tmp_path):
+        # console.py *is* the sanctioned output path; it may print.
+        src = "import time\n\ndef stamp():\n    return time.time()\n"
+        assert lint_snippet(
+            tmp_path, "src/repro/telemetry/foo.py", src, codes=["REPRO007"]
+        ) == []
+
+
+# ---------------------------------------------------------------------- #
 # Reporters and CLI
 # ---------------------------------------------------------------------- #
 class TestReporting:

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Fold benchmark telemetry into one perf-trend artifact.
+
+Usage: PYTHONPATH=src python tools/bench_report.py \
+           [--results-dir results] [--out BENCH_3.json]
+
+The benchmark harness (``benchmarks/conftest.py``) drops one metrics
+registry per figure under ``results/metrics/<bench>.json``.  This tool
+merges them, derives the headline quantities (parity-cache hit rate,
+per-dimension 3DP correction counts, trial/failure totals) and writes a
+single JSON document that CI uploads as the ``BENCH_3`` artifact, so
+perf trends can be diffed across commits.
+
+The document is deterministic: sorted keys, no timestamps, no host
+information — two runs of the same code produce byte-identical
+artifacts (trend tooling stamps them on ingest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.errors import TelemetryError  # noqa: E402
+from repro.telemetry.files import write_json_atomic  # noqa: E402
+from repro.telemetry.registry import MetricsRegistry  # noqa: E402
+from repro.telemetry.stats import derived_stats, load_metrics_file  # noqa: E402
+
+ARTIFACT_SCHEMA = 1
+
+
+def build_report(metrics_dir: Path) -> Dict[str, Any]:
+    """Assemble the artifact document from ``<metrics_dir>/*.json``."""
+    sources: Dict[str, Any] = {}
+    registries = []
+    for path in sorted(metrics_dir.glob("*.json")):
+        registry = load_metrics_file(path)
+        registries.append(registry)
+        sources[path.stem] = {
+            "derived": derived_stats(registry),
+            "metrics": registry.to_dict(),
+        }
+    merged = MetricsRegistry.merge_all(registries)
+    return {
+        "artifact": "BENCH",
+        "schema": ARTIFACT_SCHEMA,
+        "sources": sources,
+        "merged": {
+            "derived": derived_stats(merged),
+            "metrics": merged.to_dict(),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results-dir", default=str(_REPO_ROOT / "results"),
+                        help="benchmark output directory (default: results)")
+    parser.add_argument("--out", default="BENCH_3.json",
+                        help="artifact path (default: BENCH_3.json)")
+    args = parser.parse_args(argv)
+
+    metrics_dir = Path(args.results_dir) / "metrics"
+    if not metrics_dir.is_dir():
+        print(f"bench_report: no metrics directory at {metrics_dir} "
+              "(run the benchmarks with REPRO_BENCH_TELEMETRY=1 first)",
+              file=sys.stderr)
+        return 2
+    try:
+        report = build_report(metrics_dir)
+    except TelemetryError as exc:
+        print(f"bench_report: {exc}", file=sys.stderr)
+        return 2
+    if not report["sources"]:
+        print(f"bench_report: {metrics_dir} holds no metrics files",
+              file=sys.stderr)
+        return 2
+    write_json_atomic(Path(args.out), report)
+    print(f"bench_report: wrote {args.out} "
+          f"({len(report['sources'])} source(s))", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

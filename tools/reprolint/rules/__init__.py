@@ -18,6 +18,7 @@ from tools.reprolint.rules.repro005_units import FitUnitDisciplineChecker
 from tools.reprolint.rules.repro006_dataclass_validation import (
     DataclassValidationChecker,
 )
+from tools.reprolint.rules.repro007_telemetry import TelemetryDisciplineChecker
 
 ALL_CHECKERS: Tuple[Type[Checker], ...] = (
     UnseededRandomChecker,
@@ -26,6 +27,7 @@ ALL_CHECKERS: Tuple[Type[Checker], ...] = (
     MutableDefaultChecker,
     FitUnitDisciplineChecker,
     DataclassValidationChecker,
+    TelemetryDisciplineChecker,
 )
 
 
@@ -45,4 +47,5 @@ __all__ = [
     "MutableDefaultChecker",
     "FitUnitDisciplineChecker",
     "DataclassValidationChecker",
+    "TelemetryDisciplineChecker",
 ]
