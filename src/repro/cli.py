@@ -14,6 +14,11 @@ Commands
     List the synthetic benchmark profiles.
 ``schemes``
     List the available correction schemes.
+``serve``
+    Run the campaign service (job queue + scheduler + HTTP API).
+``submit`` / ``status`` / ``fetch``
+    Talk to a running campaign service: enqueue a campaign, inspect
+    jobs/health/metrics, and download results.
 
 Output discipline: **stdout carries only results** (summaries, tables,
 ``--json`` documents); every human-facing progress or bookkeeping line
@@ -29,11 +34,9 @@ import os
 import sys
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.core.citadel import CitadelConfig
-from repro.core.parity3dp import make_1dp, make_2dp, make_3dp
-from repro.ecc import BCHCode, RAID5, SECDED, SymbolCode, TwoDimECC
 from repro.errors import ReproError, TelemetryError
 from repro.faults.rates import FailureRates
 from repro.perf import PerfConfig, PowerModel, SystemSimulator
@@ -43,6 +46,8 @@ from repro.reliability.parallel import (
     EarlyStopPolicy,
     ParallelLifetimeRunner,
 )
+from repro.reliability.results import ReliabilityResult
+from repro.schemes import SCHEMES
 from repro.stack.geometry import StackGeometry
 from repro.stack.striping import StripingPolicy
 from repro.telemetry.console import err, out
@@ -56,22 +61,20 @@ from repro.telemetry.stats import (
 from repro.workloads import PROFILES, rate_mode_traces
 from repro.workloads.generator import DEFAULT_CORES
 
-#: name -> factory(geometry) for every correctability model.
-SCHEMES: Dict[str, Callable[[StackGeometry], object]] = {
-    "1dp": make_1dp,
-    "2dp": make_2dp,
-    "3dp": make_3dp,
-    "citadel": make_3dp,  # + TSV-Swap + DDS, wired below
-    "symbol-same-bank": lambda g: SymbolCode(g, StripingPolicy.SAME_BANK),
-    "symbol-across-banks": lambda g: SymbolCode(g, StripingPolicy.ACROSS_BANKS),
-    "symbol-across-channels": lambda g: SymbolCode(
-        g, StripingPolicy.ACROSS_CHANNELS
-    ),
-    "bch": lambda g: BCHCode(g),
-    "raid5": lambda g: RAID5(g),
-    "secded": lambda g: SECDED(g),
-    "2d-ecc": lambda g: TwoDimECC(g),
-}
+
+def package_version() -> str:
+    """The installed package version, falling back to the source tree's
+    ``repro.__version__`` when the distribution is not installed."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    except ImportError:  # pragma: no cover - py<3.8 has no importlib.metadata
+        pass
+    import repro
+    return repro.__version__
 
 PERF_CONFIGS: Dict[str, PerfConfig] = {
     "same-bank": PerfConfig(striping=StripingPolicy.SAME_BANK),
@@ -87,11 +90,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Citadel (MICRO 2014) reproduction toolkit",
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("overhead", help="storage-overhead accounting (§VII-E)")
-    sub.add_parser("workloads", help="list synthetic benchmark profiles")
-    sub.add_parser("schemes", help="list available correction schemes")
+    overhead = sub.add_parser(
+        "overhead", help="storage-overhead accounting (§VII-E)"
+    )
+    overhead.add_argument("--json", action="store_true",
+                          help="emit the accounting as JSON on stdout")
+    workloads = sub.add_parser(
+        "workloads", help="list synthetic benchmark profiles"
+    )
+    workloads.add_argument("--json", action="store_true",
+                           help="emit the profiles as JSON on stdout")
+    schemes = sub.add_parser(
+        "schemes", help="list available correction schemes"
+    )
+    schemes.add_argument("--json", action="store_true",
+                         help="emit the scheme table as JSON on stdout")
 
     rel = sub.add_parser("reliability", help="Monte-Carlo lifetime study")
     rel.add_argument("--scheme", choices=sorted(SCHEMES), default="citadel")
@@ -162,12 +181,112 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL trace file to summarize")
     stats.add_argument("--json", action="store_true",
                        help="emit the summary as JSON on stdout")
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign service (scheduler + HTTP API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 picks a free port)")
+    serve.add_argument("--slots", type=int, default=2,
+                       help="concurrent campaign jobs (default 2)")
+    serve.add_argument("--process-budget", type=int, default=None,
+                       metavar="N",
+                       help="total worker processes shared fairly across "
+                            "running jobs (default: CPU count)")
+    serve.add_argument("--store-dir", default="results/store", metavar="DIR",
+                       help="content-addressed result store root")
+    serve.add_argument("--store-entries", type=int, default=None, metavar="N",
+                       help="LRU-evict store files beyond N entries")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="default retry budget per job (default 2)")
+    serve.add_argument("--retry-backoff", type=float, default=0.5,
+                       metavar="S", help="base retry backoff seconds")
+    serve.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the service metrics registry as JSON "
+                            "on shutdown")
+    serve.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write a JSONL trace of job lifecycle events")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request stderr logging")
+
+    def add_client_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default="http://127.0.0.1:8765",
+                       help="campaign service endpoint")
+        p.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                       help="per-request timeout seconds")
+        p.add_argument("--json", action="store_true",
+                       help="emit the response as JSON on stdout")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to a running service"
+    )
+    add_client_options(submit)
+    submit.add_argument("--scheme", choices=sorted(SCHEMES), default="citadel")
+    submit.add_argument("--trials", type=int, default=20000)
+    submit.add_argument("--scale", type=int, default=1,
+                        help="trial divisor for smoke runs (runs "
+                             "trials//scale trials)")
+    submit.add_argument("--tsv-fit", type=float, default=0.0)
+    submit.add_argument("--tsv-swap", type=int, default=None, metavar="N")
+    submit.add_argument("--dds", action="store_true")
+    submit.add_argument("--scrub-hours", type=float, default=12.0)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE,
+                        metavar="N")
+    submit.add_argument("--modes", action="store_true",
+                        help="collect failure-mode attribution")
+    submit.add_argument("--telemetry", action="store_true",
+                        help="attach deterministic engine metrics to the "
+                             "result")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first (default 0)")
+    submit.add_argument("--workers", type=int, default=1,
+                        help="requested worker processes (the service may "
+                             "allot fewer under its fair-share budget)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job completes and print the "
+                             "result")
+    submit.add_argument("--wait-timeout", type=float, default=None,
+                        metavar="S", help="give up waiting after S seconds")
+    submit.add_argument("--poll", type=float, default=0.2, metavar="S",
+                        help="poll interval while waiting (default 0.2)")
+
+    status = sub.add_parser(
+        "status", help="service health / job status / metrics"
+    )
+    add_client_options(status)
+    status.add_argument("--job", metavar="ID", default=None,
+                        help="show one job instead of service health")
+    status.add_argument("--metrics", action="store_true",
+                        help="include the service metrics registry")
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch a completed job's result from the service"
+    )
+    add_client_options(fetch)
+    fetch.add_argument("--job", metavar="ID", required=True)
     return parser
 
 
 # ---------------------------------------------------------------------- #
-def cmd_overhead(_args: argparse.Namespace) -> int:
+def cmd_overhead(args: argparse.Namespace) -> int:
     overhead = CitadelConfig().storage_overhead()
+    if args.json:
+        out(json.dumps(
+            {
+                "metadata_die_fraction": overhead.metadata_die_fraction,
+                "parity_bank_fraction": overhead.parity_bank_fraction,
+                "dram_fraction": overhead.dram_fraction,
+                "sram_parity_bytes": overhead.sram_parity_bytes,
+                "sram_rrt_bytes": overhead.sram_rrt_bytes,
+                "sram_brt_bytes": overhead.sram_brt_bytes,
+                "sram_bytes": overhead.sram_bytes,
+            },
+            indent=1,
+            sort_keys=True,
+        ))
+        return 0
     out("Citadel storage overhead (§VII-E):")
     out(f"  metadata die       : {overhead.metadata_die_fraction:.3%}")
     out(f"  dim-1 parity bank  : {overhead.parity_bank_fraction:.3%}")
@@ -180,7 +299,14 @@ def cmd_overhead(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_workloads(_args: argparse.Namespace) -> int:
+def cmd_workloads(args: argparse.Namespace) -> int:
+    if args.json:
+        out(json.dumps(
+            {name: asdict(PROFILES[name]) for name in sorted(PROFILES)},
+            indent=1,
+            sort_keys=True,
+        ))
+        return 0
     out(f"{'benchmark':<12} {'suite':<10} {'MPKI':>6} {'wr%':>5} "
         f"{'locality':>9} {'MLP':>4}")
     for name in sorted(PROFILES):
@@ -190,8 +316,21 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_schemes(_args: argparse.Namespace) -> int:
+def cmd_schemes(args: argparse.Namespace) -> int:
     geometry = StackGeometry()
+    if args.json:
+        out(json.dumps(
+            {
+                name: {
+                    "model": SCHEMES[name](geometry).name,
+                    "implies_mitigations": name == "citadel",
+                }
+                for name in sorted(SCHEMES)
+            },
+            indent=1,
+            sort_keys=True,
+        ))
+        return 0
     for name in sorted(SCHEMES):
         model = SCHEMES[name](geometry)
         extra = " (= 3dp + --tsv-swap 4 --dds)" if name == "citadel" else ""
@@ -342,6 +481,168 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# Campaign service
+# ---------------------------------------------------------------------- #
+def _spec_from_args(args: argparse.Namespace) -> "object":
+    from repro.service.jobs import CampaignSpec
+
+    return CampaignSpec(
+        scheme=args.scheme,
+        trials=args.trials,
+        scale=args.scale,
+        tsv_fit=args.tsv_fit,
+        tsv_swap=args.tsv_swap,
+        dds=args.dds,
+        scrub_hours=args.scrub_hours,
+        seed=args.seed,
+        shard_size=args.shard_size,
+        modes=args.modes,
+        telemetry=args.telemetry,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.http import make_server
+    from repro.service.scheduler import CampaignScheduler
+    from repro.service.store import ResultStore
+    from repro.telemetry.tracing import TraceWriter
+
+    metrics = MetricsRegistry()
+    store = ResultStore(
+        Path(args.store_dir),
+        max_disk_entries=args.store_entries,
+        metrics=metrics,
+    )
+    tracer = (
+        TraceWriter(Path(args.trace_out))
+        if args.trace_out is not None
+        else None
+    )
+    scheduler = CampaignScheduler(
+        store,
+        slots=args.slots,
+        process_budget=args.process_budget,
+        retry_backoff_s=args.retry_backoff,
+        default_max_retries=args.retries,
+        metrics=metrics,
+        tracer=tracer,
+    ).start()
+    server = make_server(scheduler, args.host, args.port, quiet=args.quiet)
+    # Graceful drain on SIGINT *and* SIGTERM.  Re-installing the SIGINT
+    # handler matters when the service runs as a shell background job,
+    # where SIGINT starts out ignored.
+    def _request_shutdown(signum: int, _frame: Any) -> None:
+        raise KeyboardInterrupt
+    try:
+        import signal
+        signal.signal(signal.SIGTERM, _request_shutdown)
+        signal.signal(signal.SIGINT, _request_shutdown)
+    except ValueError:  # not the main thread (embedded/test use)
+        pass
+    err(
+        f"campaign service listening on http://{args.host}:{server.port} "
+        f"(store: {store.root}, slots: {scheduler.slots}, "
+        f"process budget: {scheduler.process_budget})"
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        err("campaign service: interrupt received, draining jobs ...")
+    finally:
+        server.server_close()
+        scheduler.shutdown(drain=True)
+        if tracer is not None:
+            tracer.close()
+        if args.metrics_out is not None:
+            write_json_atomic(
+                Path(args.metrics_out), scheduler.metrics_snapshot().to_dict()
+            )
+            err(f"service metrics written to {args.metrics_out}")
+    err("campaign service stopped")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    spec = _spec_from_args(args)
+    job = client.submit(
+        spec, priority=args.priority, workers=args.workers
+    )
+    if not args.wait:
+        if args.json:
+            out(json.dumps({"job": job}, indent=1, sort_keys=True))
+        else:
+            out(
+                f"job {job['id']} state={job['state']} "
+                f"cache_hit={str(job['cache_hit']).lower()}"
+            )
+        return 0
+    err(f"submitted job {job['id']}; waiting ...")
+    client.wait(
+        job["id"], timeout_s=args.wait_timeout, poll_interval_s=args.poll
+    )
+    document = client.result_document(job["id"])
+    if args.json:
+        out(json.dumps(document, indent=1, sort_keys=True))
+        return 0
+    result = ReliabilityResult.from_dict(document["result"])
+    out(result.summary())
+    final = document["job"]
+    err(
+        f"job {final['id']}: cache_hit={str(final['cache_hit']).lower()} "
+        f"attempts={final['attempts']}"
+    )
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    if args.job is not None:
+        job = client.job(args.job)
+        if args.json:
+            out(json.dumps({"job": job}, indent=1, sort_keys=True))
+        else:
+            out(
+                f"job {job['id']} state={job['state']} "
+                f"attempts={job['attempts']} "
+                f"cache_hit={str(job['cache_hit']).lower()}"
+                + (f" error={job['error']}" if job.get("error") else "")
+            )
+        return 0
+    document: Dict[str, Any] = {"health": client.healthz()}
+    if args.metrics:
+        document["metrics"] = client.metrics()
+    if args.json:
+        out(json.dumps(document, indent=1, sort_keys=True))
+        return 0
+    health = document["health"]
+    out(f"status: {health['status']}")
+    out(f"queue depth: {health['queue_depth']}")
+    out(f"store entries: {health['store_entries']}")
+    for state, count in sorted(health["jobs"].items()):
+        out(f"  {state:<10} {count}")
+    if args.metrics:
+        out(MetricsRegistry.from_dict(document["metrics"]).render())
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    document = client.result_document(args.job)
+    if args.json:
+        out(json.dumps(document, indent=1, sort_keys=True))
+        return 0
+    out(ReliabilityResult.from_dict(document["result"]).summary())
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 def cmd_stats(args: argparse.Namespace) -> int:
     if not args.metrics and args.trace is None:
         err("stats: pass --metrics and/or --trace (nothing to summarize)")
@@ -403,6 +704,10 @@ COMMANDS = {
     "reliability": cmd_reliability,
     "perf": cmd_perf,
     "stats": cmd_stats,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "fetch": cmd_fetch,
 }
 
 

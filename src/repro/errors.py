@@ -47,6 +47,41 @@ class TelemetryError(ReproError):
     a metric was recorded inconsistently with its declaration."""
 
 
+class ServiceError(ReproError):
+    """Base class for campaign-service failures (job queue, scheduler,
+    result store, HTTP API).  Every service-facing error derives from
+    this so CLI entry points can render a one-line message instead of a
+    traceback."""
+
+
+class SpecError(ServiceError):
+    """A submitted campaign spec is invalid: unknown scheme, out-of-range
+    parameter, unknown field, or malformed JSON document."""
+
+
+class JobNotFoundError(ServiceError):
+    """The requested job id is not known to the scheduler."""
+
+
+class ResultNotReadyError(ServiceError):
+    """A result was requested for a job that has not completed yet."""
+
+
+class JobFailedError(ServiceError):
+    """The job reached a terminal ``failed`` or ``cancelled`` state, so
+    no result will ever be available."""
+
+
+class StoreError(ServiceError):
+    """A content-addressed store entry is unreadable or its payload does
+    not match the spec hash it is filed under."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service endpoint could not be reached (connection refused,
+    timeout, or malformed response)."""
+
+
 class ContractViolation(ReproError):
     """A runtime contract (require/ensure/invariant) was violated.
 

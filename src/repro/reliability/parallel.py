@@ -61,6 +61,7 @@ from pathlib import Path
 from typing import (
     IO,
     Any,
+    Callable,
     ContextManager,
     Dict,
     FrozenSet,
@@ -196,6 +197,7 @@ class CampaignReport:
     interrupted: bool = False
     budget_exhausted: bool = False
     pool_broken: bool = False
+    cancelled: bool = False
 
     @property
     def partial(self) -> bool:
@@ -284,6 +286,7 @@ class ParallelLifetimeRunner:
         progress_stream: Optional[IO[str]] = None,
         trace_path: Optional[Union[str, Path]] = None,
         trace_sample_every: int = 1,
+        cancel_hook: Optional[Callable[[], bool]] = None,
     ) -> None:
         contracts.require(workers >= 1, "workers must be >= 1, got %r", workers)
         contracts.require(
@@ -321,6 +324,13 @@ class ParallelLifetimeRunner:
         self.progress_stream = progress_stream
         self.trace_path = Path(trace_path) if trace_path is not None else None
         self.trace_sample_every = trace_sample_every
+        #: Cooperative cancellation: polled between shards (serial mode)
+        #: and between completions (pool mode).  When it returns True the
+        #: campaign stops dispatching, checkpoints what completed, and
+        #: returns the partial merge with ``report.cancelled`` set —
+        #: the embedding the campaign service uses to cancel running
+        #: jobs without killing worker processes mid-shard.
+        self.cancel_hook = cancel_hook
         self.last_report: Optional[CampaignReport] = None
         #: Wall-clock campaign observability (shard latency, completion
         #: counters).  Kept runner-side, never merged into the result.
@@ -453,6 +463,9 @@ class ParallelLifetimeRunner:
         """``workers=1`` degenerate case: same shards, same merge, no pool."""
         since_checkpoint = 0
         for spec in pending:
+            if self._cancel_requested():
+                report.cancelled = True
+                break
             if self._out_of_budget(started):
                 report.budget_exhausted = True
                 break
@@ -545,6 +558,10 @@ class ParallelLifetimeRunner:
                         report.stopped_early = True
                         self._cancel_all(futures)
                         break
+                    if self._cancel_requested():
+                        report.cancelled = True
+                        self._cancel_all(futures)
+                        break
                     if self._out_of_budget(started):
                         report.budget_exhausted = True
                         self._cancel_all(futures)
@@ -605,6 +622,9 @@ class ParallelLifetimeRunner:
             self._reporter.update(
                 len(completed), sum(r.trials for r in completed.values())
             )
+
+    def _cancel_requested(self) -> bool:
+        return self.cancel_hook is not None and self.cancel_hook()
 
     def _out_of_budget(self, started: float) -> bool:
         return (

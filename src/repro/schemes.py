@@ -1,0 +1,39 @@
+"""Registry of correction-scheme factories.
+
+Single source of truth for the scheme names accepted everywhere a
+campaign is described — the ``repro reliability`` CLI, the campaign
+service's job specs (:mod:`repro.service.jobs`) and scripted sweeps.
+Each entry maps a stable public name to a factory
+``StackGeometry -> CorrectionModel``.
+
+The ``citadel`` entry is the 3DP correction model; the TSV-Swap and DDS
+mitigations it implies are engine-level features wired by whoever builds
+the :class:`~repro.reliability.montecarlo.EngineConfig` (see
+:meth:`repro.service.jobs.CampaignSpec.__post_init__` and the CLI).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.parity3dp import make_1dp, make_2dp, make_3dp
+from repro.ecc import BCHCode, RAID5, SECDED, SymbolCode, TwoDimECC
+from repro.stack.geometry import StackGeometry
+from repro.stack.striping import StripingPolicy
+
+#: name -> factory(geometry) for every correctability model.
+SCHEMES: Dict[str, Callable[[StackGeometry], object]] = {
+    "1dp": make_1dp,
+    "2dp": make_2dp,
+    "3dp": make_3dp,
+    "citadel": make_3dp,  # + TSV-Swap + DDS, wired by the engine config
+    "symbol-same-bank": lambda g: SymbolCode(g, StripingPolicy.SAME_BANK),
+    "symbol-across-banks": lambda g: SymbolCode(g, StripingPolicy.ACROSS_BANKS),
+    "symbol-across-channels": lambda g: SymbolCode(
+        g, StripingPolicy.ACROSS_CHANNELS
+    ),
+    "bch": lambda g: BCHCode(g),
+    "raid5": lambda g: RAID5(g),
+    "secded": lambda g: SECDED(g),
+    "2d-ecc": lambda g: TwoDimECC(g),
+}

@@ -1,0 +1,29 @@
+"""Campaign service: long-lived orchestration of reliability studies.
+
+Layers (bottom up):
+
+* :mod:`repro.service.jobs` — validated campaign specs with a canonical
+  content address, and the job lifecycle model;
+* :mod:`repro.service.queue` — thread-safe priority queue;
+* :mod:`repro.service.store` — content-addressed result store with LRU
+  caching and atomic on-disk persistence;
+* :mod:`repro.service.scheduler` — worker pool with fair-share process
+  budgeting, dedupe, retry-with-backoff, cooperative cancellation;
+* :mod:`repro.service.http` / :mod:`repro.service.client` — stdlib HTTP
+  API and typed client (``repro serve`` / ``submit`` / ``status`` /
+  ``fetch``).
+"""
+
+from repro.service.jobs import CampaignSpec, Job, JobState
+from repro.service.queue import JobQueue
+from repro.service.scheduler import CampaignScheduler
+from repro.service.store import ResultStore
+
+__all__ = [
+    "CampaignSpec",
+    "Job",
+    "JobState",
+    "JobQueue",
+    "CampaignScheduler",
+    "ResultStore",
+]

@@ -1,0 +1,232 @@
+"""Stdlib-only HTTP API over the campaign scheduler.
+
+Endpoints (all JSON):
+
+* ``POST /jobs`` — submit ``{"spec": {...}, "priority"?, "workers"?,
+  "max_retries"?}``; responds ``202`` with the job document (``200``
+  when the submission was an instant cache hit).
+* ``GET /jobs`` — every known job, newest last.
+* ``GET /jobs/{id}`` — one job's lifecycle document.
+* ``GET /jobs/{id}/result`` — ``{"job": ..., "result": ...}`` where
+  ``result`` is the stored ``ReliabilityResult.to_dict()`` document.
+* ``DELETE /jobs/{id}`` — cooperative cancellation.
+* ``GET /healthz`` — liveness + job-state tally + store size.
+* ``GET /metrics`` — the scheduler's :class:`MetricsRegistry` as JSON
+  (``?format=text`` renders the human table instead).
+
+Error contract: every failure maps a :class:`ReproError` subclass onto
+``{"error": {"type": <class name>, "message": <one line>}}`` with a
+matching status code, and the client reconstructs the same exception
+class — so service errors behave identically in-process and over HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import (
+    JobFailedError,
+    JobNotFoundError,
+    ReproError,
+    ResultNotReadyError,
+    ServiceError,
+    SpecError,
+)
+from repro.service.jobs import CampaignSpec
+from repro.service.scheduler import CampaignScheduler
+from repro.telemetry.console import err
+
+#: Error class -> HTTP status code (client reverses this by class name).
+ERROR_STATUS: Dict[type, int] = {
+    SpecError: 400,
+    JobNotFoundError: 404,
+    ResultNotReadyError: 409,
+    JobFailedError: 410,
+    ServiceError: 500,
+}
+
+#: Largest request body accepted, in bytes (a spec is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+_JOB_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_.-]+)(?P<rest>/result)?$")
+
+
+def error_payload(exc: ReproError) -> Dict[str, Any]:
+    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+def error_status(exc: ReproError) -> int:
+    for cls in type(exc).__mro__:
+        if cls in ERROR_STATUS:
+            return ERROR_STATUS[cls]
+    return 500
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`CampaignScheduler`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        scheduler: CampaignScheduler,
+        *,
+        quiet: bool = False,
+    ) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.scheduler = scheduler
+        self.quiet = quiet
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the scheduler; all responses are JSON."""
+
+    server: ServiceHTTPServer  # narrowed type
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:
+            err(f"service: {self.address_string()} {format % args}")
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise SpecError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise SpecError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise SpecError("request body must be a JSON object")
+        return document
+
+    def _metrics(self) -> None:
+        registry = self.server.scheduler.metrics_snapshot()
+        query = parse_qs(urlparse(self.path).query)
+        if query.get("format", ["json"])[0] == "text":
+            self._send_text(200, registry.render() + "\n")
+        else:
+            self._send_json(200, registry.to_dict())
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            self._route(method)
+        except ReproError as exc:
+            self._send_json(error_status(exc), error_payload(exc))
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def _route(self, method: str) -> None:
+        scheduler = self.server.scheduler
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "jobs": scheduler.counts(),
+                    "queue_depth": scheduler.queue.depth(),
+                    "store_entries": len(scheduler.store),
+                },
+            )
+            return
+        if method == "GET" and path == "/metrics":
+            self._metrics()
+            return
+        if path == "/jobs":
+            if method == "GET":
+                self._send_json(
+                    200,
+                    {"jobs": [job.to_dict() for job in scheduler.jobs()]},
+                )
+                return
+            if method == "POST":
+                document = self._read_body()
+                spec_doc = document.get("spec")
+                if spec_doc is None:
+                    raise SpecError('request body must carry a "spec" object')
+                spec = CampaignSpec.from_dict(spec_doc)
+                job = scheduler.submit(
+                    spec,
+                    priority=int(document.get("priority", 0)),
+                    workers=int(document.get("workers", 1)),
+                    max_retries=(
+                        int(document["max_retries"])
+                        if document.get("max_retries") is not None
+                        else None
+                    ),
+                )
+                status = 200 if job.cache_hit else 202
+                self._send_json(status, job.to_dict())
+                return
+        match = _JOB_PATH.match(path)
+        if match is not None:
+            job_id = match.group("id")
+            wants_result = match.group("rest") is not None
+            if method == "GET" and wants_result:
+                result = scheduler.result(job_id)
+                self._send_json(
+                    200,
+                    {
+                        "job": scheduler.job(job_id).to_dict(),
+                        "result": result.to_dict(),
+                    },
+                )
+                return
+            if method == "GET":
+                self._send_json(200, scheduler.job(job_id).to_dict())
+                return
+            if method == "DELETE" and not wants_result:
+                self._send_json(200, scheduler.cancel(job_id).to_dict())
+                return
+        raise JobNotFoundError(f"no such endpoint: {method} {path}")
+
+
+def make_server(
+    scheduler: CampaignScheduler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (``port=0`` picks a free port) without starting to serve."""
+    return ServiceHTTPServer((host, port), scheduler, quiet=quiet)

@@ -1,0 +1,83 @@
+"""Thread-safe priority queue of campaign jobs.
+
+Ordering is ``(-priority, submission sequence)``: higher priority first,
+FIFO within a priority class.  The queue holds :class:`Job` objects that
+are still in ``queued`` state; the scheduler owns every other lifecycle
+transition.  ``close()`` wakes all blocked consumers so worker threads
+can drain and exit — the building block of graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.jobs import Job
+
+
+class JobQueue:
+    """Blocking priority queue with cancellation by job id."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, str]] = []
+        self._jobs: Dict[str, Job] = {}
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def push(self, job: Job) -> None:
+        """Enqueue ``job``; raises ``RuntimeError`` after :meth:`close`."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job.id))
+            self._jobs[job.id] = job
+            self._cond.notify()
+
+    def pop(self, timeout_s: Optional[float] = None) -> Optional[Job]:
+        """Highest-priority job, blocking up to ``timeout_s``.
+
+        Returns ``None`` on timeout or once the queue is closed *and*
+        empty (the worker-thread exit signal).
+        """
+        with self._cond:
+            while True:
+                job = self._pop_locked()
+                if job is not None:
+                    return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout_s):
+                    return self._pop_locked()
+
+    def _pop_locked(self) -> Optional[Job]:
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs.pop(job_id, None)
+            if job is not None:  # skip ids removed by cancel()
+                return job
+        return None
+
+    def remove(self, job_id: str) -> Optional[Job]:
+        """Remove a still-queued job (cancellation); lazy heap cleanup."""
+        with self._cond:
+            return self._jobs.pop(job_id, None)
+
+    # ------------------------------------------------------------------ #
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._jobs)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def close(self) -> None:
+        """Stop accepting pushes and wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

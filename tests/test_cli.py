@@ -81,3 +81,46 @@ class TestCommands:
         assert "same-bank" in out and "3dp" in out
         # Same-Bank is the normalization baseline: 1.000x.
         assert "1.000x" in out
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        from repro import __version__
+        from repro.cli import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {package_version()}"
+        # Metadata fallback: an uninstalled tree reports the source
+        # version, an installed one reports the distribution's.
+        assert package_version() == __version__ or package_version()
+
+
+class TestJsonOutput:
+    def test_overhead_json(self, capsys):
+        import json
+
+        assert main(["overhead", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["sram_bytes"] == 35874
+        assert document["dram_fraction"] == pytest.approx(0.140625)
+
+    def test_workloads_json(self, capsys):
+        import json
+
+        assert main(["workloads", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "mcf" in document
+        assert document["mcf"]["suite"]
+        assert len(document) >= 38
+
+    def test_schemes_json(self, capsys):
+        import json
+
+        assert main(["schemes", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(document) == set(SCHEMES)
+        assert document["citadel"]["implies_mitigations"] is True
+        assert document["secded"]["implies_mitigations"] is False

@@ -271,3 +271,54 @@ class TestValidation:
     def test_bad_checkpoint_interval_rejected(self, geometry):
         with pytest.raises(ContractViolation):
             make_runner(geometry, workers=1, checkpoint_every=0)
+
+
+class TestCancelHook:
+    """Cooperative cancellation between shards (the campaign service's
+    cancel path: the hook polls a job's cancel event)."""
+
+    def test_hook_cancels_between_shards(self, geometry):
+        calls = []
+
+        def hook():
+            # False before shard 0, True before shard 1: exactly one
+            # shard runs, then the campaign drains gracefully.
+            calls.append(True)
+            return len(calls) > 1
+
+        runner = make_runner(geometry, workers=1, cancel_hook=hook)
+        partial = runner.run(trials=TRIALS)
+        report = runner.last_report
+        assert report.cancelled
+        assert report.partial
+        assert report.merged_shards == 1
+        assert partial.trials == SHARD
+        # The completed shard is byte-identical to the same shard of an
+        # uncancelled run (cancellation never corrupts merged work).
+        full = make_runner(geometry, workers=1).run(trials=TRIALS)
+        assert partial.trials < full.trials
+
+    def test_hook_true_from_start_runs_nothing(self, geometry):
+        runner = make_runner(geometry, workers=1, cancel_hook=lambda: True)
+        result = runner.run(trials=TRIALS)
+        assert runner.last_report.cancelled
+        assert runner.last_report.merged_shards == 0
+        assert result.trials == 0
+
+    def test_pool_honors_cancel_hook(self, geometry):
+        calls = []
+
+        def hook():
+            calls.append(True)
+            return len(calls) > 1
+
+        runner = make_runner(geometry, workers=2, cancel_hook=hook)
+        partial = runner.run(trials=TRIALS)
+        report = runner.last_report
+        assert report.cancelled
+        assert partial.trials < TRIALS
+
+    def test_no_hook_means_no_cancellation(self, geometry):
+        runner = make_runner(geometry, workers=1)
+        runner.run(trials=TRIALS)
+        assert runner.last_report.cancelled is False

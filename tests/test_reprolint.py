@@ -416,6 +416,22 @@ class TestRepro007:
             tmp_path, "src/repro/telemetry/foo.py", src, codes=["REPRO007"]
         ) == []
 
+    def test_service_package_is_instrumented(self, tmp_path):
+        # The campaign service is long-lived and observable through
+        # /metrics; its modules follow the same telemetry discipline.
+        src = "def report(x):\n    print(x)\n"
+        findings = lint_snippet(
+            tmp_path, "src/repro/service/foo.py", src, codes=["REPRO007"]
+        )
+        assert codes_of(findings) == ["REPRO007"]
+
+    def test_service_package_flags_wall_clock(self, tmp_path):
+        src = "import time\n\ndef now():\n    return time.time()\n"
+        findings = lint_snippet(
+            tmp_path, "src/repro/service/foo.py", src, codes=["REPRO007"]
+        )
+        assert codes_of(findings) == ["REPRO007"]
+
 
 # ---------------------------------------------------------------------- #
 # Reporters and CLI

@@ -38,6 +38,7 @@ class TelemetryDisciplineChecker(Checker):
         "src/repro/reliability/*",
         "src/repro/core/*",
         "src/repro/perf/*",
+        "src/repro/service/*",
         "src/repro/cli.py",
     )
     exclude = ("src/repro/telemetry/*",)
