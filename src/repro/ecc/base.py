@@ -9,6 +9,14 @@ functional datapath).
 Models also report ``min_faults_to_fail``, the smallest number of
 simultaneous faults that can possibly defeat them, which the engine uses
 for stratified sampling of rare failures.
+
+Incremental protocol: calling ``is_uncorrectable`` on the whole live set
+after *every* arrival makes a trial quadratic-to-cubic in its fault
+count, so models may additionally maintain incremental state across one
+trial via ``begin_trial`` / ``observe`` / ``rebuild``.  The base class
+provides a from-scratch fallback with identical verdicts; models that
+implement a real kernel set ``incremental_kernel = True`` so the engine
+can count fast-path arrivals.
 """
 
 from __future__ import annotations
@@ -32,8 +40,17 @@ class CorrectionModel(abc.ABC):
     #: set — no RNG, no clock — so metrics merge deterministically.
     metrics: Optional[MetricsRegistry] = None
 
+    #: True for models whose ``observe`` is a real incremental kernel
+    #: (amortised cost below a from-scratch ``is_uncorrectable`` pass).
+    #: The engine counts arrivals handled by such kernels under the
+    #: volatile ``engine/incremental_hits`` counter.
+    incremental_kernel: bool = False
+
     def __init__(self, geometry: StackGeometry) -> None:
         self.geometry = geometry
+        #: Live faults folded in since the last ``begin_trial``/``rebuild``
+        #: (the fallback state; kernels may keep richer indices beside it).
+        self._inc_live: List[Fault] = []
 
     @property
     @abc.abstractmethod
@@ -50,6 +67,42 @@ class CorrectionModel(abc.ABC):
         Conservative default: a single fault may be fatal.
         """
         return 1
+
+    # ------------------------------------------------------------------ #
+    # Incremental correctability protocol
+    # ------------------------------------------------------------------ #
+    # Contract (the engine and the differential tests rely on it):
+    #
+    # * ``begin_trial`` resets all incremental state;
+    # * ``observe(fault)`` folds one arrival in and returns exactly what
+    #   ``is_uncorrectable`` would return for the set of faults observed
+    #   since the last ``begin_trial``/``rebuild`` — the verdict, not an
+    #   approximation;
+    # * ``rebuild(live)`` resynchronises the state after a scrub/sparing
+    #   pass changed the live set out from under the model.  ``live`` may
+    #   be any sub- or superset of the current state as long as every
+    #   fault in it was ``observe``-d earlier in the trial (DDS can
+    #   re-expose previously spared faults).  ``rebuild`` returns no
+    #   verdict: from-scratch engine semantics only consult the model at
+    #   arrivals, so a live set left uncorrectable by sparing is reported
+    #   at the next ``observe``.
+    def begin_trial(self) -> None:
+        """Reset incremental state at the start of a lifetime trial."""
+        self._inc_live = []
+
+    def observe(self, fault: Fault) -> bool:
+        """Fold one fault arrival in; return the post-arrival verdict.
+
+        Fallback implementation: append and re-run ``is_uncorrectable``
+        from scratch (identical verdicts, no speedup).
+        """
+        self._inc_live.append(fault)
+        return self.is_uncorrectable(self._inc_live)
+
+    def rebuild(self, live: Sequence[Fault]) -> None:
+        """Resynchronise incremental state with an externally-edited
+        live set (post-scrub transient removal, DDS sparing/re-exposure)."""
+        self._inc_live = list(live)
 
     def storage_overhead_fraction(self) -> float:
         """Extra storage (check bits, parity, spares) / data storage."""

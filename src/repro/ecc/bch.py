@@ -6,13 +6,24 @@ convention, every bit inside a fault footprint is assumed bad, so the code
 fails as soon as any cache line accumulates more than ``t`` faulty bits —
 which is why BCH "cannot correct large-granularity faults" (§VIII-F): a
 row, bank, column-pair or word fault already exceeds the per-line budget.
+
+The predicate pools per-line bit counts over *groups* of line-sharing
+faults (each fault anchors a pool of every other fault it can share a
+line with), so it is not a bare pair disjunction and the generic pairwise
+kernel does not apply.  The incremental kernel instead caches each live
+fault's accumulated pool total: an arrival adds its bit count to every
+pool it joins and builds its own pool from the same scan, keeping the
+per-arrival cost at O(die-mates) versus the from-scratch O(F^2) re-pool.
+The verdict is monotone (joining a pool never shrinks it), so once over
+budget the trial short-circuits.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.ecc.base import CorrectionModel, bits_in_one_line, share_line_slot
+from repro.ecc.incremental import FaultBuckets
 from repro.faults.types import Fault
 from repro.stack.geometry import StackGeometry
 
@@ -20,11 +31,20 @@ from repro.stack.geometry import StackGeometry
 class BCHCode(CorrectionModel):
     """t-error-correcting code applied per cache line, in-bank layout."""
 
+    incremental_kernel = True
+
     def __init__(self, geometry: StackGeometry, t: int = 6) -> None:
         super().__init__(geometry)
         if t < 1:
             raise ValueError(f"t must be >= 1, got {t}")
         self.t = t
+        self._inc_fatal = False
+        #: uid -> pooled per-line bit total of the pool anchored at that
+        #: live fault (valid while membership is unchanged and the trial
+        #: is still correctable).
+        self._inc_totals: Dict[int, int] = {}
+        # Pooling requires a shared die: arrivals scan die-mates only.
+        self._die_index = FaultBuckets("dies")
 
     @property
     def name(self) -> str:
@@ -38,29 +58,81 @@ class BCHCode(CorrectionModel):
     def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
         return 1
 
+    # ------------------------------------------------------------------ #
+    def _line_bits(self, fault: Fault) -> int:
+        return bits_in_one_line(self.geometry, fault.footprint.cols)
+
+    def _pools_with(self, a: Fault, b: Fault) -> bool:
+        """Can the two faults contribute bad bits to one cache line?"""
+        fa, fb = a.footprint, b.footprint
+        if fa.covers(fb) or fb.covers(fa):
+            return False  # nested faults add no new bad bits
+        if not (fa.dies & fb.dies and fa.banks & fb.banks):
+            return False
+        if not fa.rows.intersects(fb.rows):
+            return False
+        return share_line_slot(self.geometry, fa.cols, fb.cols)
+
     def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
         for fault in faults:
-            if bits_in_one_line(self.geometry, fault.footprint.cols) > self.t:
+            if self._line_bits(fault) > self.t:
                 return True
         # Concurrent faults pool their per-line bit counts.  For each fault,
         # conservatively assume every other line-sharing fault lands in the
         # same cache line and accumulate.
         for anchor in faults:
-            fa = anchor.footprint
-            total = bits_in_one_line(self.geometry, fa.cols)
+            total = self._line_bits(anchor)
             for other in faults:
                 if other.uid == anchor.uid:
                     continue
-                fb = other.footprint
-                if fa.covers(fb) or fb.covers(fa):
-                    continue  # nested faults add no new bad bits
-                if not (fa.dies & fb.dies and fa.banks & fb.banks):
+                if not self._pools_with(anchor, other):
                     continue
-                if not fa.rows.intersects(fb.rows):
-                    continue
-                if not share_line_slot(self.geometry, fa.cols, fb.cols):
-                    continue
-                total += bits_in_one_line(self.geometry, fb.cols)
+                total += self._line_bits(other)
             if total > self.t:
                 return True
         return False
+
+    # ----------------------- incremental protocol --------------------- #
+    def begin_trial(self) -> None:
+        self._inc_live = []
+        self._inc_fatal = False
+        self._inc_totals = {}
+        self._die_index.clear()
+
+    def observe(self, fault: Fault) -> bool:
+        if not self._inc_fatal:
+            bits = self._line_bits(fault)
+            if bits > self.t:
+                self._inc_fatal = True
+            else:
+                total = bits
+                for other in self._die_index.candidates(fault):
+                    if not self._pools_with(fault, other):
+                        continue
+                    self._inc_totals[other.uid] += bits
+                    total += self._line_bits(other)
+                    if self._inc_totals[other.uid] > self.t:
+                        self._inc_fatal = True
+                self._inc_totals[fault.uid] = total
+                if total > self.t:
+                    self._inc_fatal = True
+        self._inc_live.append(fault)
+        self._die_index.add(fault)
+        return self._inc_fatal
+
+    def rebuild(self, live: Sequence[Fault]) -> None:
+        current = {f.uid for f in self._inc_live}
+        unchanged = (
+            not self._inc_fatal
+            and len(live) == len(self._inc_live)
+            and all(f.uid in current for f in live)
+        )
+        if unchanged:
+            # Same membership: totals and occupancy index remain valid.
+            self._inc_live = list(live)
+            return
+        # Removals invalidate every pool the removed faults contributed
+        # to; replay the survivors through the kernel.
+        self.begin_trial()
+        for fault in live:
+            self.observe(fault)

@@ -1,0 +1,155 @@
+"""Incremental kernels for the pairwise-predicate correction models.
+
+SECDED, 2D-ECC, RAID-5 and the symbol code all decide uncorrectability
+as a *monotone disjunction*: the live set is fatal iff some single fault
+is fatal alone or some unordered pair is jointly fatal.  That structure
+buys two short-circuits the from-scratch path cannot use:
+
+* **monotonicity** — adding a fault can only add disjuncts, so once any
+  test has fired the trial verdict can never revert; ``observe`` answers
+  immediately without re-scanning;
+* **locality** — a new arrival can only change the verdict through pairs
+  it participates in, so one arrival costs O(candidates) pair tests
+  instead of the O(F^2) all-pairs pass that ``is_uncorrectable`` redoes
+  after every arrival.
+
+The candidate set is narrowed further with :class:`FaultBuckets`, an
+occupancy index over a footprint axis (dies or banks): models whose pair
+predicate requires a shared die (or bank) only test the arrivals'
+bucket-mates.  :class:`BCHCode` shares the buckets but keeps its own
+kernel (its predicate pools bit counts over *groups* of line-sharing
+faults, not bare pairs) — see ``repro.ecc.bch``.
+
+This module is part of the instrumented correction stack: reprolint's
+REPRO007 telemetry discipline applies to it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.ecc.base import CorrectionModel
+from repro.errors import ConfigurationError
+from repro.faults.types import Fault
+from repro.stack.geometry import StackGeometry
+
+
+class FaultBuckets:
+    """Occupancy index: footprint-axis value -> live faults touching it.
+
+    ``axis`` is ``"dies"`` or ``"banks"``.  A fault is listed under every
+    value its footprint touches, so ``candidates(f)`` over-approximates
+    "faults sharing a die (bank) with ``f``" — exactly the pre-filter a
+    shared-die (shared-bank) pair predicate admits.
+    """
+
+    def __init__(self, axis: str) -> None:
+        if axis not in ("dies", "banks"):
+            raise ConfigurationError(
+                f"axis must be 'dies' or 'banks', got {axis!r}"
+            )
+        self.axis = axis
+        self._buckets: Dict[int, List[Fault]] = {}
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def add(self, fault: Fault) -> None:
+        for key in getattr(fault.footprint, self.axis):
+            self._buckets.setdefault(key, []).append(fault)
+
+    def candidates(self, fault: Fault) -> List[Fault]:
+        """Live faults sharing an axis value with ``fault``, deduplicated,
+        in deterministic (axis value, insertion) order."""
+        seen: Set[int] = set()
+        out: List[Fault] = []
+        for key in sorted(getattr(fault.footprint, self.axis)):
+            for other in self._buckets.get(key, ()):
+                if other.uid not in seen:
+                    seen.add(other.uid)
+                    out.append(other)
+        return out
+
+
+class IncrementalPairwiseModel(CorrectionModel):
+    """Shared incremental kernel for monotone single/pair predicates.
+
+    Subclasses supply the predicate as two hooks — ``_fatal_alone`` and
+    the *symmetric* ``_fatal_pair`` — plus optionally a candidate
+    pre-filter (``_pair_candidates``, usually a :class:`FaultBuckets`
+    wired through ``_index_reset``/``_index_add``).  Both the shared
+    ``is_uncorrectable`` and the incremental path evaluate exactly these
+    hooks, so the two paths cannot drift apart.
+    """
+
+    incremental_kernel = True
+
+    def __init__(self, geometry: StackGeometry) -> None:
+        super().__init__(geometry)
+        self._inc_fatal = False
+
+    # -------------------------- predicate hooks ----------------------- #
+    def _fatal_alone(self, fault: Fault) -> bool:
+        raise NotImplementedError
+
+    def _fatal_pair(self, a: Fault, b: Fault) -> bool:
+        raise NotImplementedError
+
+    def _pair_candidates(self, fault: Fault) -> Iterable[Fault]:
+        """Live faults that could form a fatal pair with ``fault``
+        (an over-approximation; the default is all of them)."""
+        return self._inc_live
+
+    def _index_reset(self) -> None:
+        """Clear any candidate index (subclass hook)."""
+
+    def _index_add(self, fault: Fault) -> None:
+        """Register ``fault`` with any candidate index (subclass hook)."""
+
+    # ----------------------- from-scratch predicate ------------------- #
+    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
+        for fault in faults:
+            if self._fatal_alone(fault):
+                return True
+        for a, b in itertools.combinations(faults, 2):
+            if self._fatal_pair(a, b):
+                return True
+        return False
+
+    # ----------------------- incremental protocol --------------------- #
+    def begin_trial(self) -> None:
+        self._inc_live = []
+        self._inc_fatal = False
+        self._index_reset()
+
+    def observe(self, fault: Fault) -> bool:
+        if not self._inc_fatal:
+            if self._fatal_alone(fault):
+                self._inc_fatal = True
+            else:
+                for other in self._pair_candidates(fault):
+                    if self._fatal_pair(fault, other):
+                        self._inc_fatal = True
+                        break
+        self._inc_live.append(fault)
+        self._index_add(fault)
+        return self._inc_fatal
+
+    def rebuild(self, live: Sequence[Fault]) -> None:
+        current = {f.uid for f in self._inc_live}
+        removal_only = all(f.uid in current for f in live)
+        self._inc_live = []
+        self._index_reset()
+        if removal_only and not self._inc_fatal:
+            # Dropping faults from a correctable set cannot fire a
+            # monotone predicate: re-index without re-testing.
+            for fault in live:
+                self._inc_live.append(fault)
+                self._index_add(fault)
+            return
+        # Additions (DDS re-exposure) or an uncorrectable carry-over:
+        # replay the set through the kernel.
+        self._inc_fatal = False
+        for fault in live:
+            self.observe(fault)

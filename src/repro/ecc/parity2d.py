@@ -22,15 +22,14 @@ the subarray failure mode.
 
 from __future__ import annotations
 
-import itertools
-from typing import Sequence
+from typing import List
 
-from repro.ecc.base import CorrectionModel
+from repro.ecc.incremental import FaultBuckets, IncrementalPairwiseModel
 from repro.faults.types import Fault, FaultKind
 from repro.stack.geometry import StackGeometry
 
 
-class TwoDimECC(CorrectionModel):
+class TwoDimECC(IncrementalPairwiseModel):
     """In-bank horizontal + vertical coding (2D-ECC)."""
 
     #: Correction tile of the 2D code (32x32 cells, §VIII-E).
@@ -38,6 +37,8 @@ class TwoDimECC(CorrectionModel):
 
     def __init__(self, geometry: StackGeometry) -> None:
         super().__init__(geometry)
+        # Fatal pairs need a shared die (and bank): test die-mates only.
+        self._die_index = FaultBuckets("dies")
 
     @property
     def name(self) -> str:
@@ -49,21 +50,28 @@ class TwoDimECC(CorrectionModel):
     def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
         return 1
 
-    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
-        for fault in faults:
-            fp = fault.footprint
-            if fault.kind is FaultKind.BANK or fp.spans_multiple_banks():
-                return True
-            # Area faults (subarray/bank scale) flood both syndrome
-            # dimensions at once.
-            if fp.num_rows > self.TILE and fp.num_cols > self.TILE:
-                return True
-        for a, b in itertools.combinations(faults, 2):
-            fa, fb = a.footprint, b.footprint
-            if fa.covers(fb) or fb.covers(fa):
-                continue  # nested faults add no new bad bits
-            if not (fa.dies & fb.dies and fa.banks & fb.banks):
-                continue
-            if fa.rows.intersects(fb.rows) or fa.cols.intersects(fb.cols):
-                return True
-        return False
+    # ------------------------------------------------------------------ #
+    def _fatal_alone(self, fault: Fault) -> bool:
+        fp = fault.footprint
+        if fault.kind is FaultKind.BANK or fp.spans_multiple_banks():
+            return True
+        # Area faults (subarray/bank scale) flood both syndrome
+        # dimensions at once.
+        return fp.num_rows > self.TILE and fp.num_cols > self.TILE
+
+    def _fatal_pair(self, a: Fault, b: Fault) -> bool:
+        fa, fb = a.footprint, b.footprint
+        if fa.covers(fb) or fb.covers(fa):
+            return False  # nested faults add no new bad bits
+        if not (fa.dies & fb.dies and fa.banks & fb.banks):
+            return False
+        return fa.rows.intersects(fb.rows) or fa.cols.intersects(fb.cols)
+
+    def _pair_candidates(self, fault: Fault) -> List[Fault]:
+        return self._die_index.candidates(fault)
+
+    def _index_reset(self) -> None:
+        self._die_index.clear()
+
+    def _index_add(self, fault: Fault) -> None:
+        self._die_index.add(fault)

@@ -11,15 +11,12 @@ single fault spans two strips of one stripe (multi-bank TSV faults).
 
 from __future__ import annotations
 
-import itertools
-from typing import Sequence
-
-from repro.ecc.base import CorrectionModel
+from repro.ecc.incremental import IncrementalPairwiseModel
 from repro.faults.types import Fault
 from repro.stack.geometry import StackGeometry
 
 
-class RAID5(CorrectionModel):
+class RAID5(IncrementalPairwiseModel):
     """Row-granularity rotated parity across all banks."""
 
     def __init__(self, geometry: StackGeometry) -> None:
@@ -35,17 +32,17 @@ class RAID5(CorrectionModel):
     def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
         return 1 if tsv_possible else 2
 
-    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
-        for fault in faults:
-            # A fault covering the same row index in >= 2 banks occupies
-            # two strips of one stripe on its own (TSV faults do this).
-            if fault.footprint.spans_multiple_banks():
-                return True
-        for a, b in itertools.combinations(faults, 2):
-            fa, fb = a.footprint, b.footprint
-            same_bank = fa.dies == fb.dies and fa.banks == fb.banks
-            if same_bank:
-                continue  # same strip column: still one bad strip per stripe
-            if fa.rows.intersects(fb.rows):
-                return True
-        return False
+    # ------------------------------------------------------------------ #
+    # Stripes span every bank of every die, so no die/bank occupancy
+    # index can prune the pair candidates; the kernel's value here is the
+    # monotone short-circuit plus the O(F)-per-arrival pair scan.
+    def _fatal_alone(self, fault: Fault) -> bool:
+        # A fault covering the same row index in >= 2 banks occupies
+        # two strips of one stripe on its own (TSV faults do this).
+        return fault.footprint.spans_multiple_banks()
+
+    def _fatal_pair(self, a: Fault, b: Fault) -> bool:
+        fa, fb = a.footprint, b.footprint
+        if fa.dies == fb.dies and fa.banks == fb.banks:
+            return False  # same strip column: still one bad strip per stripe
+        return fa.rows.intersects(fb.rows)

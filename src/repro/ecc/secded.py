@@ -9,10 +9,9 @@ or more bad bits inside one 64-bit word defeats it.
 
 from __future__ import annotations
 
-import itertools
-from typing import Sequence
+from typing import List
 
-from repro.ecc.base import CorrectionModel
+from repro.ecc.incremental import FaultBuckets, IncrementalPairwiseModel
 from repro.faults.footprint import RangeMask
 from repro.faults.types import Fault
 from repro.stack.geometry import StackGeometry
@@ -20,11 +19,13 @@ from repro.stack.geometry import StackGeometry
 _WORD_BITS = 64
 
 
-class SECDED(CorrectionModel):
+class SECDED(IncrementalPairwiseModel):
     """Single-error-correct, double-error-detect per 64-bit word."""
 
     def __init__(self, geometry: StackGeometry) -> None:
         super().__init__(geometry)
+        # Fatal pairs need a shared die, so arrivals only test die-mates.
+        self._die_index = FaultBuckets("dies")
 
     @property
     def name(self) -> str:
@@ -47,18 +48,25 @@ class SECDED(CorrectionModel):
         base_b, mask_b = b.base & ~word_low, b.mask | word_low
         return (base_a ^ base_b) & ~(mask_a | mask_b) == 0
 
-    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
-        for fault in faults:
-            if self._bits_per_word(fault.footprint.cols) > 1:
-                return True
-        for a, b in itertools.combinations(faults, 2):
-            fa, fb = a.footprint, b.footprint
-            if fa.covers(fb) or fb.covers(fa):
-                continue  # nested faults add no new bad bits
-            if not (fa.dies & fb.dies and fa.banks & fb.banks):
-                continue
-            if not fa.rows.intersects(fb.rows):
-                continue
-            if self._share_word(fa.cols, fb.cols):
-                return True
-        return False
+    # ------------------------------------------------------------------ #
+    def _fatal_alone(self, fault: Fault) -> bool:
+        return self._bits_per_word(fault.footprint.cols) > 1
+
+    def _fatal_pair(self, a: Fault, b: Fault) -> bool:
+        fa, fb = a.footprint, b.footprint
+        if fa.covers(fb) or fb.covers(fa):
+            return False  # nested faults add no new bad bits
+        if not (fa.dies & fb.dies and fa.banks & fb.banks):
+            return False
+        if not fa.rows.intersects(fb.rows):
+            return False
+        return self._share_word(fa.cols, fb.cols)
+
+    def _pair_candidates(self, fault: Fault) -> List[Fault]:
+        return self._die_index.candidates(fault)
+
+    def _index_reset(self) -> None:
+        self._die_index.clear()
+
+    def _index_add(self, fault: Fault) -> None:
+        self._die_index.add(fault)

@@ -24,10 +24,10 @@ in distinct units with intersecting codeword coordinates.
 
 from __future__ import annotations
 
-import itertools
-from typing import Optional, Sequence
+from typing import List, Optional
 
-from repro.ecc.base import CorrectionModel, share_line_slot
+from repro.ecc.base import share_line_slot
+from repro.ecc.incremental import FaultBuckets, IncrementalPairwiseModel
 from repro.faults.footprint import RangeMask
 from repro.faults.types import Fault
 from repro.stack.geometry import StackGeometry
@@ -37,7 +37,7 @@ from repro.stack.striping import StripingPolicy
 DEFAULT_DATA_UNITS = 8
 
 
-class SymbolCode(CorrectionModel):
+class SymbolCode(IncrementalPairwiseModel):
     """Single-symbol-correct code over a striping policy's units."""
 
     def __init__(
@@ -50,6 +50,14 @@ class SymbolCode(CorrectionModel):
         self.policy = policy
         self.data_units = data_units
         self._symbol_bits = geometry.line_bits // data_units
+        # Data-data fatal pairs need a shared die (Same Bank / Across
+        # Banks) or a shared bank (Across Channels): index data faults on
+        # that axis.  Metadata-die faults pair *across* axes (Across
+        # Banks matches the metadata fault's banks against the data
+        # fault's dies), so they live in an always-tested side list.
+        axis = "banks" if policy is StripingPolicy.ACROSS_CHANNELS else "dies"
+        self._data_index = FaultBuckets(axis)
+        self._meta_live: List[Fault] = []
 
     @property
     def name(self) -> str:
@@ -64,16 +72,6 @@ class SymbolCode(CorrectionModel):
         if self.policy is StripingPolicy.ACROSS_BANKS:
             return 1 if tsv_possible else 2
         return 2
-
-    # ------------------------------------------------------------------ #
-    def is_uncorrectable(self, faults: Sequence[Fault]) -> bool:
-        for fault in faults:
-            if self._single_fault_fatal(fault):
-                return True
-        for a, b in itertools.combinations(faults, 2):
-            if self._pair_fatal(a, b):
-                return True
-        return False
 
     # ------------------------------------------------------------------ #
     def _is_meta_fault(self, fault: Fault) -> bool:
@@ -179,3 +177,29 @@ class SymbolCode(CorrectionModel):
             if fm.rows.intersects(meta_rows):
                 return True
         return False
+
+    # ------------------------- incremental hooks ---------------------- #
+    def _fatal_alone(self, fault: Fault) -> bool:
+        return self._single_fault_fatal(fault)
+
+    def _fatal_pair(self, a: Fault, b: Fault) -> bool:
+        return self._pair_fatal(a, b)
+
+    def _pair_candidates(self, fault: Fault) -> List[Fault]:
+        if self._is_meta_fault(fault):
+            # Meta-data pairing can cross axes, so meta arrivals test
+            # the whole live set.
+            return list(self._inc_live)
+        # Data arrival: axis-mates among the data faults, plus every live
+        # metadata fault (disjoint sets — no deduplication needed).
+        return self._data_index.candidates(fault) + self._meta_live
+
+    def _index_reset(self) -> None:
+        self._data_index.clear()
+        self._meta_live = []
+
+    def _index_add(self, fault: Fault) -> None:
+        if self._is_meta_fault(fault):
+            self._meta_live.append(fault)
+        else:
+            self._data_index.add(fault)

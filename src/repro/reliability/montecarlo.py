@@ -23,10 +23,12 @@ while spending no time on empty lifetimes.
 
 from __future__ import annotations
 
+import inspect
+import math
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import contracts
 from repro.core.dds import DDSController
@@ -72,6 +74,13 @@ class EngineConfig:
     #: RNG draws), so sample statistics are bit-identical with telemetry
     #: on or off and shard metrics merge deterministically.
     collect_metrics: bool = False
+    #: Drive correctability through the model's incremental
+    #: ``begin_trial``/``observe`` kernel (identical verdicts; an arrival
+    #: costs O(touched component / candidates) instead of a from-scratch
+    #: ``is_uncorrectable`` pass over the whole live set).  False forces
+    #: the from-scratch path — the reference used by the differential
+    #: tests and ``bench_engine_hotpath``.
+    incremental_correction: bool = True
 
     def __post_init__(self) -> None:
         contracts.check_non_negative(self.tsv_swap_standby, "tsv_swap_standby")
@@ -112,6 +121,11 @@ class LifetimeSimulator:
         #: spans with one ``correction`` event per fault arrival.  Tracing
         #: never feeds back into the simulation.
         self.tracer = tracer
+        #: Full registry of the most recent :meth:`run` with telemetry on,
+        #: volatile counters included (``engine/incremental_hits``,
+        #: ``parity/peel_reuse``).  Observability aid for benches and
+        #: debugging; results carry only the deterministic snapshot.
+        self.last_run_metrics: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------ #
     def default_min_faults(self) -> int:
@@ -119,10 +133,20 @@ class LifetimeSimulator:
         tsv_possible = (
             self.rates.tsv_device_fit > 0 and self.config.tsv_swap_standby is None
         )
+        # Dispatch on the declared signature.  Calling with the argument
+        # and falling back on TypeError would also swallow TypeErrors
+        # raised *inside* the model and silently strand the scheme on the
+        # wrong stratum.
+        min_faults_to_fail = self.model.min_faults_to_fail
         try:
-            return self.model.min_faults_to_fail(tsv_possible)
-        except TypeError:
-            return self.model.min_faults_to_fail()
+            parameters: Mapping[str, object] = inspect.signature(
+                min_faults_to_fail
+            ).parameters
+        except (TypeError, ValueError):  # pragma: no cover - C callables
+            parameters = {}
+        if "tsv_possible" in parameters:
+            return min_faults_to_fail(tsv_possible)
+        return min_faults_to_fail()
 
     # ------------------------------------------------------------------ #
     def run(
@@ -136,9 +160,13 @@ class LifetimeSimulator:
         stats = SparingStats() if self.config.collect_sparing_stats else None
         metrics = MetricsRegistry() if self.config.collect_metrics else None
         failures = 0
-        weight = self.injector.prob_at_least(
+        # The injector reports each trial's stratum weight; this is the
+        # engine-side formula it must agree with (contract below), so a
+        # drive-by change to either cannot silently bias the estimator.
+        expected_weight = self.injector.prob_at_least(
             strata_min, self.config.lifetime_hours
         ) if strata_min > 0 else 1.0
+        weight = expected_weight
         failure_times: List[float] = []
         modes: Counter[str] = Counter()
         previous_model_metrics = self.model.metrics
@@ -149,11 +177,24 @@ class LifetimeSimulator:
                 tracer = self.tracer
                 if tracer is not None and tracer.should_sample(index):
                     with tracer.span("trial", index=index):
-                        outcome = self._run_trial(
+                        outcome, sampled_weight = self._run_trial(
                             strata_min, stats, metrics, tracer
                         )
                 else:
-                    outcome = self._run_trial(strata_min, stats, metrics, None)
+                    outcome, sampled_weight = self._run_trial(
+                        strata_min, stats, metrics, None
+                    )
+                contracts.require(
+                    math.isclose(
+                        sampled_weight, expected_weight,
+                        rel_tol=0.0, abs_tol=0.0,
+                    ),
+                    "stratum weight sampled by the injector (%r) disagrees "
+                    "with the engine's tail probability (%r)",
+                    sampled_weight,
+                    expected_weight,
+                )
+                weight = sampled_weight
                 if outcome is not None:
                     failed_at, mode = outcome
                     failures += 1
@@ -165,6 +206,7 @@ class LifetimeSimulator:
         if metrics is not None:
             metrics.inc("engine/trials", trials)
             metrics.inc("engine/failures", failures)
+            self.last_run_metrics = metrics
             metrics = metrics.deterministic_snapshot()
         return ReliabilityResult(
             scheme_name=label if label is not None else self._label(),
@@ -198,10 +240,11 @@ class LifetimeSimulator:
         stats: Optional[SparingStats],
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[TraceWriter] = None,
-    ) -> Optional[Tuple[float, Optional[str]]]:
-        """One lifetime; returns (failure time, failure mode) or None."""
+    ) -> Tuple[Optional[Tuple[float, Optional[str]]], float]:
+        """One lifetime; returns ((failure time, failure mode) or None,
+        stratum weight of the sampled trial)."""
         config = self.config
-        faults, _ = self.injector.sample_lifetime(
+        faults, weight = self.injector.sample_lifetime(
             config.lifetime_hours, min_faults=min_faults
         )
         if metrics is not None:
@@ -225,20 +268,39 @@ class LifetimeSimulator:
             if config.use_dds
             else None
         )
+        model = self.model
+        incremental = config.incremental_correction
+        if incremental:
+            model.begin_trial()
         live: List[Fault] = []
         outcome: Optional[Tuple[float, Optional[str]]] = None
-        next_scrub = config.scrub_interval_hours
         interval = config.scrub_interval_hours
+        # Scrub boundary k is the instant k * interval; ``scrub_epoch`` is
+        # the index of the last boundary already applied.  Integer epochs
+        # make boundary arrivals unambiguous — the float formula
+        # ``(t // interval + 1) * interval`` could re-run or skip a scrub
+        # when an arrival lands exactly on a boundary.
+        scrub_epoch = 0
         for fault in faults:
-            if next_scrub <= fault.time_hours:
+            due_epoch = self._scrub_epoch_at(
+                fault.time_hours, scrub_epoch, interval
+            )
+            if due_epoch > scrub_epoch:
                 # Scrubbing with no intervening fault is idempotent, so the
                 # scrub passes between two events collapse into one.
                 live = self._scrub(live, dds)
+                if incremental:
+                    model.rebuild(live)
                 if metrics is not None:
                     metrics.inc("engine/scrub_passes")
-                next_scrub = (fault.time_hours // interval + 1) * interval
+                scrub_epoch = due_epoch
             live.append(fault)
-            uncorrectable = self.model.is_uncorrectable(live)
+            if incremental:
+                uncorrectable = model.observe(fault)
+                if metrics is not None and model.incremental_kernel:
+                    metrics.inc("engine/incremental_hits", volatile=True)
+            else:
+                uncorrectable = model.is_uncorrectable(live)
             if tracer is not None:
                 tracer.event(
                     "correction",
@@ -257,7 +319,24 @@ class LifetimeSimulator:
                 break
         if stats is not None:
             self._collect_sparing_stats(faults, stats)
-        return outcome
+        return outcome, weight
+
+    @staticmethod
+    def _scrub_epoch_at(
+        time_hours: float, current_epoch: int, interval: float
+    ) -> int:
+        """Index of the last scrub boundary at or before ``time_hours``.
+
+        Seeds the search two epochs below the float-floor quotient (which
+        can over-round near a boundary) and advances with the *same*
+        ``(k + 1) * interval <= time_hours`` product comparison for every
+        step, so every boundary is applied exactly once regardless of how
+        ``time_hours // interval`` rounds.
+        """
+        epoch = max(current_epoch, int(time_hours // interval) - 2)
+        while (epoch + 1) * interval <= time_hours:
+            epoch += 1
+        return epoch
 
     @staticmethod
     def _failure_mode(live: Sequence[Fault]) -> str:

@@ -84,9 +84,10 @@ from repro.telemetry.progress import ProgressReporter
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.tracing import TraceWriter
 
-#: v2: ``EngineConfig`` grew ``collect_metrics`` (the fingerprint embeds
-#: ``asdict(config)``, so v1 checkpoints cannot be resumed).
-CHECKPOINT_VERSION = 2
+#: v2: ``EngineConfig`` grew ``collect_metrics``; v3: it grew
+#: ``incremental_correction`` (the fingerprint embeds ``asdict(config)``,
+#: so older checkpoints cannot be resumed).
+CHECKPOINT_VERSION = 3
 
 #: Bucket edges (seconds) of the wall-clock shard-latency histogram kept
 #: in ``last_campaign_metrics`` (volatile: never merged into results).

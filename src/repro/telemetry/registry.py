@@ -221,9 +221,16 @@ class MetricsRegistry:
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
-    def inc(self, name: str, n: int = 1) -> None:
-        """Add ``n`` to counter ``name`` (created at 0)."""
+    def inc(self, name: str, n: int = 1, volatile: bool = False) -> None:
+        """Add ``n`` to counter ``name`` (created at 0).
+
+        ``volatile`` counters measure *how* the run computed its answer
+        (cache reuse, fast-path hits) rather than *what* it computed, so
+        they are excluded from :meth:`deterministic_snapshot`.
+        """
         self._counters[name] = self._counters.get(name, 0) + n
+        if volatile:
+            self._volatile.add(name)
 
     def gauge_set(self, name: str, value: float, volatile: bool = False) -> None:
         """Set gauge ``name``; merged registries keep the maximum."""

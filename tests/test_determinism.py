@@ -142,6 +142,47 @@ class TestParallelRunnerDeterminism:
         assert runner.run(trials=800) != self.run_parallel(geom, workers=1)
 
 
+class TestIncrementalCorrectionInvisible:
+    """``EngineConfig.incremental_correction`` is a pure performance knob:
+    results — counts, failure times, metrics snapshot — must be
+    byte-identical to the from-scratch reference path."""
+
+    def run_citadel(self, geom, workers, incremental):
+        runner = ParallelLifetimeRunner(
+            geom,
+            FailureRates.paper_baseline(tsv_device_fit=1430.0),
+            make_3dp(geom),
+            EngineConfig(
+                tsv_swap_standby=4,
+                use_dds=True,
+                collect_metrics=True,
+                collect_failure_modes=True,
+                incremental_correction=incremental,
+            ),
+            root_seed=302,
+            workers=workers,
+            shard_size=150,
+        )
+        return runner.run(trials=600)
+
+    def test_serial_engine_flag_invisible(self, geom):
+        fast = run_monte_carlo(geom, seed=42, collect_metrics=True)
+        reference = run_monte_carlo(
+            geom, seed=42, collect_metrics=True, incremental_correction=False
+        )
+        assert fast == reference
+        assert fast.metrics == reference.metrics
+
+    def test_citadel_parallel_flag_invisible_any_worker_count(self, geom):
+        """Citadel config exercises scrub rebuilds and DDS re-exposure;
+        identity must hold at workers=1 and workers=4."""
+        reference = self.run_citadel(geom, workers=1, incremental=False)
+        for workers in (1, 4):
+            fast = self.run_citadel(geom, workers=workers, incremental=True)
+            assert fast == reference
+            assert fast.metrics == reference.metrics
+
+
 class TestInjectorDeterminism:
     def test_same_seed_identical_fault_streams(self, geom):
         rates = FailureRates.paper_baseline(tsv_device_fit=200.0)

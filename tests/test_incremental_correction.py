@@ -1,0 +1,188 @@
+"""Differential tests for the incremental correctability protocol.
+
+Every registered scheme must answer ``observe()`` exactly as a fresh
+model answers ``is_uncorrectable()`` on the same prefix, for random
+fault sequences — and ``rebuild()`` (the scrub/DDS path) must leave the
+kernel answering as if the surviving set had been observed from
+scratch.  The strategies deliberately squeeze faults into a few dies,
+banks and rows so that pair predicates, occupancy indexes and the 3DP
+peel cache are all exercised, not just the lone-fault fast paths.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parity3dp import ParityND, make_3dp
+from repro.faults.types import (
+    Permanence,
+    make_addr_tsv_fault,
+    make_bank_fault,
+    make_bit_fault,
+    make_column_fault,
+    make_data_tsv_fault,
+    make_row_fault,
+    make_subarray_fault,
+    make_word_fault,
+)
+from repro.schemes import SCHEMES
+from repro.stack.geometry import StackGeometry
+from repro.telemetry.registry import MetricsRegistry
+
+GEOM = StackGeometry()
+
+#: Small coordinate pools force overlaps: with the full address space the
+#: chance of two random faults aliasing is negligible and the pairwise
+#: branches would never run.
+DIES = st.integers(0, min(3, GEOM.total_dies - 1))
+ALL_DIES = st.integers(0, GEOM.total_dies - 1)
+BANKS = st.integers(0, min(2, GEOM.banks_per_die - 1))
+ROWS = st.integers(0, 7)
+COLS = st.integers(0, min(127, GEOM.row_bits - 1))
+PERM = st.sampled_from([Permanence.TRANSIENT, Permanence.PERMANENT])
+
+
+@st.composite
+def crowded_faults(draw):
+    """One random fault drawn from a deliberately small address pool."""
+    kind = draw(
+        st.sampled_from(
+            ["bit", "word", "row", "column", "subarray", "bank", "dtsv", "atsv"]
+        )
+    )
+    perm = draw(PERM)
+    die = draw(DIES if kind in ("bit", "word", "row") else ALL_DIES)
+    bank = draw(BANKS)
+    row = draw(ROWS)
+    if kind == "bit":
+        return make_bit_fault(GEOM, die, bank, row, draw(COLS), perm)
+    if kind == "word":
+        word = draw(st.integers(0, min(3, GEOM.row_bits // 32 - 1)))
+        return make_word_fault(GEOM, die, bank, row, word, perm)
+    if kind == "row":
+        return make_row_fault(GEOM, die, bank, row, perm)
+    if kind == "column":
+        return make_column_fault(GEOM, die, bank, draw(COLS), perm)
+    if kind == "subarray":
+        sub = draw(st.integers(0, min(1, GEOM.subarrays_per_bank - 1)))
+        return make_subarray_fault(GEOM, die, bank, sub, perm)
+    if kind == "bank":
+        return make_bank_fault(GEOM, die, bank, perm)
+    channel = draw(st.integers(0, GEOM.channels - 1))
+    if kind == "dtsv":
+        idx = draw(st.integers(0, min(7, GEOM.data_tsvs_per_channel - 1)))
+        return make_data_tsv_fault(GEOM, channel, idx)
+    idx = draw(st.integers(0, min(3, GEOM.addr_tsvs_per_channel - 1)))
+    return make_addr_tsv_fault(GEOM, channel, idx)
+
+
+FAULT_SEQS = st.lists(crowded_faults(), min_size=0, max_size=7)
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+class TestObserveMatchesFromScratch:
+    """observe() after each arrival == is_uncorrectable() on the prefix."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seq=FAULT_SEQS)
+    def test_prefix_verdicts_identical(self, scheme, seq):
+        incremental = SCHEMES[scheme](GEOM)
+        reference = SCHEMES[scheme](GEOM)
+        incremental.begin_trial()
+        live = []
+        for fault in seq:
+            live.append(fault)
+            assert incremental.observe(fault) == reference.is_uncorrectable(
+                live
+            ), f"{scheme} diverged at prefix length {len(live)}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(seq=FAULT_SEQS, keep_mask=st.lists(st.booleans(), min_size=7, max_size=7))
+    def test_rebuild_with_subset_then_observe(self, scheme, seq, keep_mask):
+        """Scrub path: drop a random subset, then keep observing.
+
+        Mirrors the engine: every fault handed to ``rebuild`` was observed
+        earlier (scrubs remove transients / DDS spares, and re-exposure
+        only ever returns previously observed faults).
+        """
+        if len(seq) < 2:
+            return
+        split = len(seq) // 2
+        head, tail = seq[:split], seq[split:]
+
+        incremental = SCHEMES[scheme](GEOM)
+        incremental.begin_trial()
+        for fault in head:
+            incremental.observe(fault)
+        survivors = [f for f, keep in zip(head, keep_mask) if keep]
+        incremental.rebuild(survivors)
+
+        reference = SCHEMES[scheme](GEOM)
+        live = list(survivors)
+        for fault in tail:
+            live.append(fault)
+            assert incremental.observe(fault) == reference.is_uncorrectable(
+                live
+            ), f"{scheme} diverged after rebuild at live size {len(live)}"
+
+    @settings(max_examples=20, deadline=None)
+    @given(seq=FAULT_SEQS, keep_mask=st.lists(st.booleans(), min_size=7, max_size=7))
+    def test_rebuild_with_reexposed_faults(self, scheme, seq, keep_mask):
+        """DDS re-exposure: a second rebuild re-adds previously dropped
+        faults, so ``rebuild`` must also handle additions."""
+        if len(seq) < 2:
+            return
+        incremental = SCHEMES[scheme](GEOM)
+        incremental.begin_trial()
+        for fault in seq:
+            incremental.observe(fault)
+        survivors = [f for f, keep in zip(seq, keep_mask) if keep]
+        incremental.rebuild(survivors)
+        # Re-expose everything that was dropped (all observed earlier).
+        incremental.rebuild(list(seq))
+
+        reference = SCHEMES[scheme](GEOM)
+        probe = make_bit_fault(GEOM, 0, 0, 0, 0, Permanence.TRANSIENT)
+        assert incremental.observe(probe) == reference.is_uncorrectable(
+            list(seq) + [probe]
+        )
+
+
+class TestParityPeelMetrics:
+    """The 3DP kernel must emit the same parity/* counters as the
+    from-scratch path (the engine folds these into the deterministic
+    snapshot, so any drift breaks result byte-identity)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seq=FAULT_SEQS)
+    def test_peel_event_streams_identical(self, seq):
+        model = make_3dp(GEOM)
+        assert isinstance(model, ParityND)
+        model.metrics = MetricsRegistry()
+        model.begin_trial()
+        for fault in seq:
+            model.observe(fault)
+
+        reference = make_3dp(GEOM)
+        reference.metrics = MetricsRegistry()
+        live = []
+        for fault in seq:
+            live.append(fault)
+            reference.is_uncorrectable(live)
+
+        assert (
+            model.metrics.deterministic_snapshot()
+            == reference.metrics.deterministic_snapshot()
+        )
+
+    def test_peel_reuse_counter_is_volatile(self):
+        model = make_3dp(GEOM)
+        model.metrics = MetricsRegistry()
+        model.begin_trial()
+        # Two faults in unrelated components: the second arrival reuses
+        # the first fault's cached component.
+        model.observe(make_row_fault(GEOM, 0, 0, 1, Permanence.PERMANENT))
+        model.observe(make_row_fault(GEOM, 3, 3, 9, Permanence.PERMANENT))
+        assert model.metrics.counter("parity/peel_reuse") > 0
+        snapshot = model.metrics.deterministic_snapshot()
+        assert snapshot.counter("parity/peel_reuse") == 0

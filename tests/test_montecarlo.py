@@ -152,3 +152,145 @@ class TestResults:
         r = ReliabilityResult("scheme", trials=10, failures=1, stratum_weight=1.0)
         assert "scheme" in r.summary()
         assert "P(fail)" in r.summary()
+
+
+class TestMinFaultsDispatch:
+    """``default_min_faults`` dispatches on the declared signature; it must
+    not call-and-catch TypeError, which masks TypeErrors raised *inside*
+    the model and strands the scheme on the wrong stratum."""
+
+    class _BuggyTsvBranch(SymbolCode):
+        """A model whose TSV branch contains a genuine TypeError bug."""
+
+        def min_faults_to_fail(self, tsv_possible=True):
+            if tsv_possible:
+                return 1 + None  # the bug the old except clause hid
+            return 2
+
+    class _LegacyNoArg(SymbolCode):
+        """A model predating the ``tsv_possible`` parameter."""
+
+        def min_faults_to_fail(self):
+            return 3
+
+    def test_internal_typeerror_propagates(self, geom):
+        model = self._BuggyTsvBranch(geom, StripingPolicy.ACROSS_BANKS)
+        sim = simulator(geom, model, tsv_fit=1430.0)
+        # The old try/except TypeError fell back to the no-arg call and
+        # silently returned 2 here; the bug must surface instead.
+        with pytest.raises(TypeError):
+            sim.default_min_faults()
+
+    def test_no_tsv_branch_still_works(self, geom):
+        model = self._BuggyTsvBranch(geom, StripingPolicy.ACROSS_BANKS)
+        assert simulator(geom, model, tsv_fit=0.0).default_min_faults() == 2
+
+    def test_legacy_signature_dispatches_to_no_arg_call(self, geom):
+        model = self._LegacyNoArg(geom, StripingPolicy.ACROSS_BANKS)
+        assert simulator(geom, model, tsv_fit=1430.0).default_min_faults() == 3
+
+
+class TestSampledWeight:
+    """The result's stratum weight is the weight the injector sampled the
+    trials with, and the engine cross-checks it against its own tail
+    probability so the two formulas cannot drift apart unnoticed."""
+
+    def test_result_weight_is_exactly_the_sampled_weight(self, geom):
+        sim = simulator(geom, make_3dp(geom))
+        sampled = []
+        original = sim.injector.sample_lifetime
+
+        def spy(lifetime_hours, min_faults=0):
+            faults, weight = original(lifetime_hours, min_faults=min_faults)
+            sampled.append(weight)
+            return faults, weight
+
+        sim.injector.sample_lifetime = spy
+        result = sim.run(trials=10, min_faults=2)
+        assert sampled and all(w == sampled[0] for w in sampled)
+        assert result.stratum_weight == sampled[0]  # same float, not approx
+
+    def test_disagreeing_weight_violates_contract(self, geom):
+        from repro import contracts
+        from repro.errors import ContractViolation
+
+        sim = simulator(geom, make_3dp(geom))
+        original = sim.injector.sample_lifetime
+
+        def tampered(lifetime_hours, min_faults=0):
+            faults, weight = original(lifetime_hours, min_faults=min_faults)
+            return faults, weight * 0.5  # a silently biased estimator
+        sim.injector.sample_lifetime = tampered
+        if not contracts.enabled():
+            pytest.skip("contracts disabled in this environment")
+        with pytest.raises(ContractViolation):
+            sim.run(trials=2, min_faults=2)
+
+
+class TestScrubEpochBoundaries:
+    """Scrub scheduling counts integer boundary epochs with one consistent
+    ``(k + 1) * interval <= t`` comparison.  The old float chain
+    ``next_scrub = (t // interval + 1) * interval`` disagreed with its own
+    trigger comparison at exact-boundary arrivals, re-running a scrub pass
+    (double-counting DDS sparing demand) or skipping one."""
+
+    @staticmethod
+    def _fixed_fault_sim(geom, times, **cfg):
+        from repro.faults.types import Permanence, make_row_fault
+
+        sim = simulator(
+            geom, make_3dp(geom), collect_metrics=True, **cfg
+        )
+        faults = [
+            make_row_fault(geom, 0, 0, 5, Permanence.TRANSIENT).at_time(t)
+            for t in times
+        ]
+        sim.injector.sample_lifetime = (
+            lambda lifetime_hours, min_faults=0: (list(faults), 1.0)
+        )
+        return sim
+
+    def test_boundary_arrival_scrubs_exactly_once(self, geom):
+        # 3 * 0.3 == 0.8999999999999999 in binary64: the first arrival
+        # lands exactly on scrub boundary 3.  The old scheduler set
+        # next_scrub equal to the arrival time and re-scrubbed at the
+        # second arrival with no boundary in between (2 passes).
+        boundary = 3 * 0.3
+        sim = self._fixed_fault_sim(
+            geom, [boundary, 0.95], scrub_interval_hours=0.3
+        )
+        result = sim.run(trials=1, min_faults=0)
+        assert result.metrics.counter("engine/scrub_passes") == 1
+
+    def test_exact_multiple_interval_boundary(self, geom):
+        # With the paper's 12h interval products are exact: an arrival at
+        # t=24.0 crosses boundaries 1 and 2 (collapsed into one pass) and
+        # an arrival at 24.5 must not scrub again.
+        sim = self._fixed_fault_sim(
+            geom, [24.0, 24.5], scrub_interval_hours=12.0
+        )
+        result = sim.run(trials=1, min_faults=0)
+        assert result.metrics.counter("engine/scrub_passes") == 1
+
+    def test_epoch_search_matches_naive_reference(self, geom):
+        """_scrub_epoch_at == the largest k reachable by stepping the same
+        comparison from zero, for adversarial interval/time pairs."""
+        import random as _random
+
+        rng = _random.Random(42)
+        intervals = [0.3, 0.1, 12.0, 7.3, 1e-3]
+        for interval in intervals:
+            for _ in range(200):
+                k_true = rng.randrange(0, 5000)
+                jitter = rng.choice([0.0, 1e-16, -1e-16, 1e-12, -1e-12])
+                t = k_true * interval * (1.0 + jitter)
+                if t < 0:
+                    continue
+                naive = 0
+                while (naive + 1) * interval <= t:
+                    naive += 1
+                got = LifetimeSimulator._scrub_epoch_at(t, 0, interval)
+                assert got == naive, (interval, t)
+                # Restarting mid-way (as the engine does) agrees too.
+                mid = naive // 2
+                assert LifetimeSimulator._scrub_epoch_at(t, mid, interval) == naive

@@ -403,6 +403,15 @@ class TestRepro007:
             tmp_path, "src/repro/reliability/foo.py", src, codes=["REPRO007"]
         ) == []
 
+    def test_flags_print_in_ecc_kernel_module(self, tmp_path):
+        # The incremental correctability kernels (src/repro/ecc/*) sit on
+        # the Monte-Carlo hot path and are held to the same discipline.
+        src = "def observe(f):\n    print(f)\n"
+        findings = lint_snippet(
+            tmp_path, "src/repro/ecc/foo.py", src, codes=["REPRO007"]
+        )
+        assert codes_of(findings) == ["REPRO007"]
+
     def test_uninstrumented_modules_exempt(self, tmp_path):
         src = "def report(x):\n    print(x)\n"
         assert lint_snippet(

@@ -144,6 +144,22 @@ class TestDeterministicSnapshot:
         assert snapshot.histogram("campaign/shard_seconds") is None
         assert snapshot.histogram("engine/faults_per_trial") is not None
 
+    def test_volatile_counter_stripped_but_merges(self):
+        registry = MetricsRegistry()
+        registry.inc("engine/incremental_hits", 3, volatile=True)
+        registry.inc("engine/trials", 1)
+        assert registry.counter("engine/incremental_hits") == 3
+        snapshot = registry.deterministic_snapshot()
+        assert snapshot.counter("engine/incremental_hits") == 0
+        assert snapshot.counter("engine/trials") == 1
+        other = MetricsRegistry()
+        other.inc("engine/incremental_hits", 2, volatile=True)
+        merged = registry.merge(other)
+        assert merged.counter("engine/incremental_hits") == 5
+        assert merged.deterministic_snapshot().counter(
+            "engine/incremental_hits"
+        ) == 0
+
     def test_snapshot_of_snapshot_is_fixed_point(self):
         registry = MetricsRegistry()
         registry.inc("a", 1)

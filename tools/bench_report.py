@@ -14,6 +14,12 @@ perf trends can be diffed across commits.
 The document is deterministic: sorted keys, no timestamps, no host
 information — two runs of the same code produce byte-identical
 artifacts (trend tooling stamps them on ingest).
+
+``bench_engine_hotpath`` additionally drops a timing sidecar at
+``<results-dir>/hotpath_speedup.json``.  Wall-clock numbers never enter
+the BENCH artifact (that would break its determinism); instead this tool
+re-checks the sidecar's measured speedup against its recorded threshold
+and fails the build when the incremental hot path has regressed.
 """
 
 from __future__ import annotations
@@ -59,6 +65,39 @@ def build_report(metrics_dir: Path) -> Dict[str, Any]:
     }
 
 
+def check_hotpath_sidecar(results_dir: Path) -> int:
+    """Enforce the engine hot-path speedup floor, if the bench ran.
+
+    Returns 0 when the sidecar is absent (the bench did not run) or the
+    measured speedup meets its threshold; 1 on regression or a mangled
+    sidecar.
+    """
+    sidecar = results_dir / "hotpath_speedup.json"
+    if not sidecar.is_file():
+        return 0
+    try:
+        data = json.loads(sidecar.read_text())
+        speedup = float(data["speedup"])
+        threshold = float(data["threshold"])
+        identical = bool(data["results_identical"])
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"bench_report: unreadable hotpath sidecar {sidecar}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not identical:
+        print("bench_report: hotpath bench reported non-identical results",
+              file=sys.stderr)
+        return 1
+    if speedup < threshold:
+        print(f"bench_report: incremental hot path regressed to "
+              f"{speedup:.2f}x (threshold {threshold:.1f}x)",
+              file=sys.stderr)
+        return 1
+    print(f"bench_report: hotpath speedup {speedup:.2f}x "
+          f"(threshold {threshold:.1f}x)", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results-dir", default=str(_REPO_ROOT / "results"),
@@ -85,7 +124,7 @@ def main(argv=None) -> int:
     write_json_atomic(Path(args.out), report)
     print(f"bench_report: wrote {args.out} "
           f"({len(report['sources'])} source(s))", file=sys.stderr)
-    return 0
+    return check_hotpath_sidecar(Path(args.results_dir))
 
 
 if __name__ == "__main__":
