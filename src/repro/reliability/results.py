@@ -213,7 +213,9 @@ class ReliabilityResult:
             "lifetime_hours": self.lifetime_hours,
             "min_faults": self.min_faults,
             "failure_times_hours": list(self.failure_times_hours),
-            "failure_modes": dict(self.failure_modes),
+            # Sorted: Counter iteration order depends on merge order,
+            # which differs between worker counts.
+            "failure_modes": dict(sorted(self.failure_modes.items())),
         }
         if self.sparing is not None:
             data["sparing"] = self.sparing.to_dict()

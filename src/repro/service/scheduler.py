@@ -107,8 +107,7 @@ class CampaignScheduler:
         self.retry_backoff_s = retry_backoff_s
         self.default_max_retries = default_max_retries
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        if store.metrics is None:
-            store.metrics = self.metrics
+        store.attach_metrics(self.metrics)
         self.tracer = tracer
         self._executor = executor
         self.queue = JobQueue()

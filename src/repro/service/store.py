@@ -82,6 +82,12 @@ class ResultStore:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def attach_metrics(self, metrics: MetricsRegistry) -> None:
+        """Adopt a registry unless one was injected at construction."""
+        with self._lock:
+            if self.metrics is None:
+                self.metrics = metrics
+
     def _inc(self, name: str) -> None:
         if self.metrics is not None:
             self.metrics.inc(name)

@@ -27,6 +27,7 @@ a merged campaign result is byte-identical for any worker count.
 from __future__ import annotations
 
 import bisect
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
@@ -205,11 +206,19 @@ class _TimerBlock:
 
 
 class MetricsRegistry:
-    """Counters, gauges, histograms and timers under one namespace."""
+    """Counters, gauges, histograms and timers under one namespace.
+
+    Recording is thread-safe: one registry is shared by every
+    :class:`~repro.service.scheduler.CampaignScheduler` worker thread,
+    so all writes happen under an internal re-entrant lock.  Reads and
+    merges are meant for quiesced registries (between campaigns, or on
+    per-shard registries owned by a single worker).
+    """
 
     SCHEMA_VERSION = 1
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -228,15 +237,17 @@ class MetricsRegistry:
         (cache reuse, fast-path hits) rather than *what* it computed, so
         they are excluded from :meth:`deterministic_snapshot`.
         """
-        self._counters[name] = self._counters.get(name, 0) + n
-        if volatile:
-            self._volatile.add(name)
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+            if volatile:
+                self._volatile.add(name)
 
     def gauge_set(self, name: str, value: float, volatile: bool = False) -> None:
         """Set gauge ``name``; merged registries keep the maximum."""
-        self._gauges[name] = float(value)
-        if volatile:
-            self._volatile.add(name)
+        with self._lock:
+            self._gauges[name] = float(value)
+            if volatile:
+                self._volatile.add(name)
 
     def declare_histogram(
         self,
@@ -245,17 +256,18 @@ class MetricsRegistry:
         volatile: bool = False,
     ) -> Histogram:
         """Create (or fetch) histogram ``name`` with fixed bucket edges."""
-        hist = self._histograms.get(name)
-        if hist is None:
-            hist = Histogram(edges=tuple(float(e) for e in edges))
-            self._histograms[name] = hist
-        elif hist.edges != tuple(float(e) for e in edges):
-            raise TelemetryError(
-                f"histogram {name!r} already declared with different edges"
-            )
-        if volatile:
-            self._volatile.add(name)
-        return hist
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = Histogram(edges=tuple(float(e) for e in edges))
+                self._histograms[name] = hist
+            elif hist.edges != tuple(float(e) for e in edges):
+                raise TelemetryError(
+                    f"histogram {name!r} already declared with different edges"
+                )
+            if volatile:
+                self._volatile.add(name)
+            return hist
 
     def observe(
         self,
@@ -269,24 +281,26 @@ class MetricsRegistry:
         ``edges`` is required the first time a name is seen; afterwards
         it may be omitted (and must match when given).
         """
-        hist = self._histograms.get(name)
-        if hist is None:
-            if edges is None:
-                raise TelemetryError(
-                    f"histogram {name!r} not declared; pass bucket edges"
-                )
-            hist = self.declare_histogram(name, edges, volatile=volatile)
-        elif volatile:
-            self._volatile.add(name)
-        hist.observe(value)
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                if edges is None:
+                    raise TelemetryError(
+                        f"histogram {name!r} not declared; pass bucket edges"
+                    )
+                hist = self.declare_histogram(name, edges, volatile=volatile)
+            elif volatile:
+                self._volatile.add(name)
+            hist.observe(value)
 
     def record_seconds(self, name: str, seconds: float) -> None:
         """Fold one duration into timer ``name`` (timers are volatile)."""
-        timer = self._timers.get(name)
-        if timer is None:
-            timer = Timer()
-            self._timers[name] = timer
-        timer.record(seconds)
+        with self._lock:
+            timer = self._timers.get(name)
+            if timer is None:
+                timer = Timer()
+                self._timers[name] = timer
+            timer.record(seconds)
 
     def time_block(self, name: str) -> _TimerBlock:
         """``with registry.time_block("phase"):`` — record a duration."""

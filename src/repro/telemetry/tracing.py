@@ -26,6 +26,7 @@ a torn trace.
 from __future__ import annotations
 
 import json
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -84,7 +85,14 @@ class TraceRecord:
 
 
 class TraceWriter:
-    """Buffered JSONL span/event emitter with nested scopes."""
+    """Buffered JSONL span/event emitter with nested scopes.
+
+    Record emission is thread-safe (one writer is shared by every
+    scheduler worker thread); an internal re-entrant lock serializes
+    buffer appends, scope mutation and flushes.  Scope *nesting* is
+    still a per-writer notion — concurrent spans interleave their
+    begin/end records but never corrupt the buffer or the file.
+    """
 
     def __init__(
         self,
@@ -103,6 +111,7 @@ class TraceWriter:
         self.sample_every = sample_every
         self.flush_every = flush_every
         self._epoch = monotonic_s()
+        self._lock = threading.RLock()
         self._scopes: List[str] = []
         self._records: List[Dict[str, Any]] = []
         self._closed = False
@@ -132,18 +141,22 @@ class TraceWriter:
         return monotonic_s() - self._epoch
 
     def _record(self, record: TraceRecord) -> None:
-        if self._closed:
-            raise TelemetryError(f"trace writer for {self.path} is closed")
-        self._records.append(record.to_dict())
-        if len(self._records) >= self.flush_every:
-            self.flush()
+        with self._lock:
+            if self._closed:
+                raise TelemetryError(
+                    f"trace writer for {self.path} is closed"
+                )
+            self._records.append(record.to_dict())
+            if len(self._records) >= self.flush_every:
+                self.flush()
 
     # ------------------------------------------------------------------ #
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[None]:
         """Nested scope: emits ``begin``/``end`` records around the body."""
-        self._scopes.append(name)
-        path = self.scope_path
+        with self._lock:
+            self._scopes.append(name)
+            path = self.scope_path
         started = self._now()
         self._record(
             TraceRecord(
@@ -163,7 +176,8 @@ class TraceWriter:
                     attrs={"seconds": ended - started},
                 )
             )
-            self._scopes.pop()
+            with self._lock:
+                self._scopes.pop()
 
     def event(self, name: str, **attrs: Any) -> None:
         """Point event inside the current scope."""
@@ -181,14 +195,18 @@ class TraceWriter:
     # ------------------------------------------------------------------ #
     def flush(self) -> None:
         """Atomically persist every record emitted so far."""
-        lines = [json.dumps(record, sort_keys=True) for record in self._records]
+        with self._lock:
+            lines = [
+                json.dumps(record, sort_keys=True) for record in self._records
+            ]
         atomic_write_text(self.path, "\n".join(lines) + "\n" if lines else "")
 
     def close(self) -> None:
-        if self._closed:
-            return
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self.flush()
-        self._closed = True
 
     def __enter__(self) -> "TraceWriter":
         return self

@@ -216,3 +216,32 @@ class TestDatapathDeterminism:
         assert [a.rng.random() for _ in range(8)] == [
             b.rng.random() for _ in range(8)
         ]
+
+
+class TestSerializedByteIdentity:
+    """Worker count must not change the *serialized* result either.
+
+    ``a == b`` compares Counters order-insensitively, so it would miss
+    the REPRO008 bug this guards: ``failure_modes`` emitted in merge
+    (i.e. worker-count-dependent) order.  Comparing the JSON text with
+    ``sort_keys=False`` pins the actual bytes a checkpoint or golden
+    fixture would contain.
+    """
+
+    def run_parallel(self, geom, workers):
+        import json
+
+        runner = ParallelLifetimeRunner(
+            geom,
+            FailureRates.paper_baseline(tsv_device_fit=100.0),
+            make_1dp(geom),
+            EngineConfig(collect_failure_modes=True,
+                         collect_sparing_stats=True),
+            root_seed=42,
+            workers=workers,
+            shard_size=200,
+        )
+        return json.dumps(runner.run(trials=800).to_dict(), sort_keys=False)
+
+    def test_workers_1_vs_4_serialize_byte_identically(self, geom):
+        assert self.run_parallel(geom, 1) == self.run_parallel(geom, 4)

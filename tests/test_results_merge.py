@@ -157,3 +157,34 @@ class TestSerialization:
             failed_banks_per_trial=[1, 2],
         )
         assert SparingStats.from_dict(stats.to_dict()) == stats
+
+
+class TestSerializedOrderStability:
+    """REPRO008 regression: ``to_dict`` used to emit ``failure_modes``
+    in Counter insertion order, which depends on merge order — two
+    worker counts produced equal Counters but different JSON bytes."""
+
+    def _shard(self, modes):
+        return ReliabilityResult(
+            scheme_name="citadel",
+            trials=100,
+            failures=sum(modes.values()),
+            lifetime_hours=61320.0,
+            failure_times_hours=[],
+            failure_modes=Counter(modes),
+        )
+
+    def test_merge_order_does_not_change_serialized_bytes(self):
+        a = self._shard({"tsv": 2})
+        b = self._shard({"bank": 1, "channel": 3})
+        ab = json.dumps(a.merge(b).to_dict(), sort_keys=False)
+        ba = json.dumps(b.merge(a).to_dict(), sort_keys=False)
+        assert ab == ba
+
+    def test_failure_modes_serialized_sorted(self):
+        result = self._shard({"zeta": 1, "alpha": 2, "mid": 3})
+        assert list(result.to_dict()["failure_modes"]) == [
+            "alpha",
+            "mid",
+            "zeta",
+        ]

@@ -227,3 +227,37 @@ class TestConcurrency:
             thread.join()
         assert len(store) == 1
         assert store.get(spec).to_dict() == result.to_dict()
+
+
+class TestAttachMetrics:
+    """REPRO009 regression: the scheduler used to reach into the store
+    and assign ``store.metrics`` directly (an unguarded cross-object
+    mutation); it now goes through the synchronized ``attach_metrics``."""
+
+    def test_attach_adopts_registry_when_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        registry = MetricsRegistry()
+        store.attach_metrics(registry)
+        assert store.metrics is registry
+        spec = make_spec(seed=3)
+        store.put(spec, make_result(spec))
+        assert registry.counter("store/puts") >= 1
+
+    def test_attach_never_overwrites_injected_registry(self, tmp_path):
+        mine = MetricsRegistry()
+        store = ResultStore(tmp_path / "store", metrics=mine)
+        store.attach_metrics(MetricsRegistry())
+        assert store.metrics is mine
+
+    def test_first_attach_wins_under_contention(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        registries = [MetricsRegistry() for _ in range(8)]
+        threads = [
+            threading.Thread(target=store.attach_metrics, args=(r,))
+            for r in registries
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert any(store.metrics is r for r in registries)

@@ -191,3 +191,48 @@ class TestAccessors:
         text = registry.render()
         for name in registry.names():
             assert name in text
+
+
+class TestThreadSafety:
+    """Recording APIs are shared by scheduler worker threads; hammering
+    them concurrently must never drop an update (REPRO009 regression:
+    the registry now serializes writes behind an internal RLock)."""
+
+    THREADS = 8
+    ROUNDS = 2000
+
+    def _hammer(self, work):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+
+        def body():
+            barrier.wait()
+            for i in range(self.ROUNDS):
+                work(i)
+
+        threads = [
+            threading.Thread(target=body) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_concurrent_inc_loses_no_updates(self):
+        registry = MetricsRegistry()
+        self._hammer(lambda i: registry.inc("service/jobs", 1))
+        assert registry.counter("service/jobs") == self.THREADS * self.ROUNDS
+
+    def test_concurrent_observe_loses_no_samples(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("lat", edges=[1.0, 10.0])
+        self._hammer(lambda i: registry.observe("lat", float(i % 20)))
+        hist = registry.histogram("lat")
+        assert hist.count == self.THREADS * self.ROUNDS
+        assert sum(hist.counts) == hist.count
+
+    def test_concurrent_timers_lose_no_durations(self):
+        registry = MetricsRegistry()
+        self._hammer(lambda i: registry.record_seconds("phase", 0.001))
+        assert registry.timer("phase").count == self.THREADS * self.ROUNDS

@@ -157,3 +157,47 @@ class TestProgressReporter:
         lines = stream.getvalue().strip().splitlines()
         assert len(lines) == 2
         assert "shards 10/10" in lines[-1]
+
+
+class TestTraceWriterThreadSafety:
+    """One writer is shared by every scheduler worker thread; concurrent
+    events (with flushes forced mid-stream) must neither drop records
+    nor tear the file (REPRO009 regression: internal RLock)."""
+
+    def test_concurrent_events_all_recorded(self, tmp_path):
+        import threading
+
+        writer = TraceWriter(tmp_path / "trace.jsonl", flush_every=16)
+        threads_n, events_n = 6, 300
+        barrier = threading.Barrier(threads_n)
+
+        def body(tid):
+            barrier.wait()
+            for i in range(events_n):
+                writer.event("tick", tid=tid, i=i)
+
+        threads = [
+            threading.Thread(target=body, args=(t,)) for t in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        writer.close()
+        records = read_trace(tmp_path / "trace.jsonl")
+        events = [r for r in records if r.kind == "event"]
+        assert len(events) == threads_n * events_n
+        seen = {(r.attrs["tid"], r.attrs["i"]) for r in events}
+        assert len(seen) == threads_n * events_n
+
+    def test_close_is_idempotent_across_threads(self, tmp_path):
+        import threading
+
+        writer = TraceWriter(tmp_path / "trace.jsonl")
+        writer.event("once")
+        threads = [threading.Thread(target=writer.close) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(read_trace(tmp_path / "trace.jsonl")) == 2

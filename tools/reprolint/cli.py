@@ -1,4 +1,10 @@
-"""Command-line interface: ``python -m tools.reprolint src tests benchmarks``."""
+"""Command-line interface: ``python -m tools.reprolint src tests benchmarks``.
+
+Also installed as the ``reprolint`` console script (see pyproject.toml).
+
+Exit codes: 0 clean, 1 findings (after baseline filtering), 2 usage or
+I/O errors (unknown rule code, missing path, unreadable baseline).
+"""
 
 from __future__ import annotations
 
@@ -7,14 +13,33 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from tools.reprolint.engine import LintRunner
-from tools.reprolint.reporters import JsonReporter, TextReporter, render_rule_list
-from tools.reprolint.rules import ALL_CHECKERS, checker_by_code
+from tools.reprolint.engine import (
+    LintRunner,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.reprolint.reporters import (
+    JsonReporter,
+    SarifReporter,
+    TextReporter,
+    render_rule_list,
+)
+from tools.reprolint.rules import (
+    ALL_CHECKERS,
+    ALL_PROJECT_CHECKERS,
+    checker_by_code,
+)
+from tools.reprolint.rules.repro010_schema import (
+    compute_lock_payload,
+    lockfile_path,
+    render_lock_payload,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m tools.reprolint",
+        prog="reprolint",
         description="Domain-aware static analysis for the Citadel reproduction.",
     )
     parser.add_argument(
@@ -25,9 +50,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
     )
     parser.add_argument(
         "--select",
@@ -41,6 +72,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="root for relative paths and rule path scoping (default: cwd)",
     )
     parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file; recorded findings are filtered (ratchet)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--schema-lockfile",
+        type=Path,
+        default=None,
+        help="REPRO010 lockfile path (default: <root>/tools/reprolint/"
+        "schema_lock.json)",
+    )
+    parser.add_argument(
+        "--write-lockfile",
+        action="store_true",
+        help="regenerate the REPRO010 schema lockfile and exit 0",
+    )
+    parser.add_argument(
+        "--check-lockfile",
+        action="store_true",
+        help="verify the schema lockfile matches the analyzed sources "
+        "byte-for-byte; exit 1 if stale",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -48,44 +108,121 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_checkers(select: Optional[str]) -> Optional[List[object]]:
+    if not select:
+        return [cls() for cls in (*ALL_CHECKERS, *ALL_PROJECT_CHECKERS)]
+    checkers: List[object] = []
+    for code in (c.strip() for c in select.split(",")):
+        cls = checker_by_code(code)
+        if cls is None:
+            print(f"reprolint: unknown rule code {code!r}", file=sys.stderr)
+            return None
+        checkers.append(cls())
+    return checkers
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for line in render_rule_list(ALL_CHECKERS):
+        for line in render_rule_list((*ALL_CHECKERS, *ALL_PROJECT_CHECKERS)):
             print(line)
         return 0
 
-    if args.select:
-        checkers = []
-        for code in (c.strip() for c in args.select.split(",")):
-            cls = checker_by_code(code)
-            if cls is None:
-                print(f"reprolint: unknown rule code {code!r}", file=sys.stderr)
-                return 2
-            checkers.append(cls())
-    else:
-        checkers = [cls() for cls in ALL_CHECKERS]
+    checkers = _build_checkers(args.select)
+    if checkers is None:
+        return 2
 
     paths: List[Path] = list(args.paths) or [
         Path("src"),
         Path("tests"),
         Path("benchmarks"),
     ]
-    runner = LintRunner(checkers, root=args.root)
+    options = {}
+    if args.schema_lockfile is not None:
+        options["schema_lockfile"] = args.schema_lockfile
+    runner = LintRunner(checkers, root=args.root, options=options)  # type: ignore[arg-type]
+
+    if args.write_lockfile or args.check_lockfile:
+        try:
+            project = runner.build_project(paths)
+        except FileNotFoundError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+        lock_path = lockfile_path(project)
+        rendered = render_lock_payload(compute_lock_payload(project))
+        if args.write_lockfile:
+            lock_path.parent.mkdir(parents=True, exist_ok=True)
+            lock_path.write_text(rendered, encoding="utf-8")
+            print(f"reprolint: wrote schema lockfile {lock_path}")
+            return 0
+        if not lock_path.exists():
+            print(
+                f"reprolint: schema lockfile {lock_path} is missing; "
+                "generate it with --write-lockfile",
+                file=sys.stderr,
+            )
+            return 1
+        if lock_path.read_text(encoding="utf-8") != rendered:
+            print(
+                f"reprolint: schema lockfile {lock_path} is stale; "
+                "regenerate it with --write-lockfile",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"reprolint: schema lockfile {lock_path} is in sync")
+        return 0
+
     try:
         findings = runner.run(paths)
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
 
-    reporter = (
-        JsonReporter(sys.stdout)
-        if args.format == "json"
-        else TextReporter(sys.stdout)
+    if args.write_baseline:
+        if args.baseline is None:
+            print(
+                "reprolint: --write-baseline requires --baseline PATH",
+                file=sys.stderr,
+            )
+            return 2
+        write_baseline(args.baseline, findings)
+        print(
+            f"reprolint: wrote baseline with {len(findings)} finding(s) "
+            f"to {args.baseline}"
+        )
+        return 0
+
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"reprolint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        findings = apply_baseline(findings, baseline)
+
+    stream = (
+        args.output.open("w", encoding="utf-8")
+        if args.output is not None
+        else sys.stdout
     )
-    reporter.report(findings)
+    try:
+        if args.format == "json":
+            reporter = JsonReporter(stream)
+        elif args.format == "sarif":
+            reporter = SarifReporter(stream, checkers)  # type: ignore[arg-type]
+        else:
+            reporter = TextReporter(stream)
+        reporter.report(findings)
+    finally:
+        if args.output is not None:
+            stream.close()
     return 1 if findings else 0
+
+
+def run() -> None:
+    """Console-script entry point (``reprolint`` on $PATH)."""
+    raise SystemExit(main())
 
 
 if __name__ == "__main__":  # pragma: no cover

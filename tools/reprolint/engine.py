@@ -7,6 +7,20 @@ declares a ``code``/``name``/``description``, optional ``include`` /
 parses each one exactly once, dispatches to every applicable rule, and
 filters findings through the suppression comments collected from the
 token stream.
+
+The run is **two-pass**.  Pass 1 parses every requested file into a
+:class:`FileContext` and runs the per-file checkers.  Pass 2 (only when a
+:class:`ProjectChecker` is registered) assembles the parsed contexts into
+a :class:`~tools.reprolint.project.ProjectContext` — symbol table, import
+graph, approximate call graph — and hands the whole program to each
+project rule.  Project findings honor the same ``# reprolint: disable``
+comments as per-file ones.
+
+A :func:`load_baseline` / :func:`apply_baseline` pair implements the
+ratchet: pre-existing findings recorded in a baseline file are filtered
+out (by path/code/message, counted), so new code is held to the rules
+without a flag-day cleanup — and fixing a finding permanently lowers the
+allowance.
 """
 
 from __future__ import annotations
@@ -14,11 +28,26 @@ from __future__ import annotations
 import ast
 import fnmatch
 import io
+import json
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from tools.reprolint.project import ProjectContext
 
 #: Matches ``# reprolint: disable=REPRO001,REPRO002`` and bare
 #: ``# reprolint: disable`` (which suppresses every rule on the line).
@@ -117,6 +146,79 @@ class Checker:
         )
 
 
+class ProjectChecker(Checker):
+    """Base class for whole-program rules (pass 2).
+
+    Where a :class:`Checker` sees one file, a project rule sees the
+    assembled :class:`~tools.reprolint.project.ProjectContext` and may
+    anchor findings in any analyzed file.  ``include``/``exclude`` globs
+    are applied by the rule itself (via :meth:`applies_to`) rather than
+    by the engine, because a single project rule typically scopes
+    different sub-checks to different trees.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------- #
+# Baseline ratchet
+# --------------------------------------------------------------------- #
+BASELINE_SCHEMA_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> str:
+    """Stable identity of a finding for baseline bookkeeping.
+
+    Line/column are deliberately excluded so unrelated edits above a
+    baselined finding do not un-baseline it.
+    """
+    return f"{finding.path}::{finding.code}::{finding.message}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into ``key -> allowed count``."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("entries", {})
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = baseline_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "entries": dict(sorted(counts.items())),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> List[Finding]:
+    """Drop findings covered by the baseline, consuming counts.
+
+    Findings beyond the recorded count for a key (a *regression*) are
+    kept, as is anything not in the baseline at all.
+    """
+    remaining = dict(baseline)
+    kept: List[Finding] = []
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            kept.append(finding)
+    return kept
+
+
 def collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
     """Extract per-line and per-file suppression sets from comments.
 
@@ -172,15 +274,25 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 
 
 class LintRunner:
-    """Runs a set of checkers over a set of paths."""
+    """Runs per-file and project checkers over a set of paths.
+
+    ``options`` is an open key/value channel from the CLI to project
+    rules (e.g. ``schema_lockfile`` for REPRO010); rules read it off the
+    :class:`~tools.reprolint.project.ProjectContext`.
+    """
 
     def __init__(
         self,
         checkers: Sequence[Checker],
         root: Optional[Path] = None,
+        options: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.checkers = list(checkers)
+        self.checkers = [c for c in checkers if not isinstance(c, ProjectChecker)]
+        self.project_checkers = [
+            c for c in checkers if isinstance(c, ProjectChecker)
+        ]
         self.root = (root if root is not None else Path.cwd()).resolve()
+        self.options: Dict[str, Any] = dict(options or {})
 
     def _relpath(self, path: Path) -> str:
         resolved = path.resolve()
@@ -189,13 +301,14 @@ class LintRunner:
         except ValueError:
             return resolved.as_posix()
 
-    def lint_file(self, path: Path) -> List[Finding]:
+    def load_context(self, path: Path) -> Tuple[Optional[FileContext], List[Finding]]:
+        """Parse one file; a syntax error yields a REPRO000 finding."""
         relpath = self._relpath(path)
         source = path.read_text(encoding="utf-8")
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
-            return [
+            return None, [
                 Finding(
                     path=relpath,
                     line=exc.lineno or 1,
@@ -213,20 +326,64 @@ class LintRunner:
             line_suppressions=line_supp,
             file_suppressions=file_supp,
         )
+        return ctx, []
+
+    def _check_file(self, ctx: FileContext) -> List[Finding]:
         findings: List[Finding] = []
         for checker in self.checkers:
-            if not checker.applies_to(relpath):
+            if not checker.applies_to(ctx.relpath):
                 continue
             for finding in checker.check(ctx):
                 if not ctx.is_suppressed(finding.line, finding.code):
                     findings.append(finding)
+        return findings
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        """Single-file entry point (per-file rules only)."""
+        ctx, findings = self.load_context(path)
+        if ctx is not None:
+            findings.extend(self._check_file(ctx))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
         return findings
 
-    def run(self, paths: Sequence[Path]) -> List[Finding]:
-        findings: List[Finding] = []
+    def build_project(self, paths: Sequence[Path]) -> "ProjectContext":
+        """Pass 1 only: parse everything and assemble the project view."""
+        from tools.reprolint.project import ProjectContext
+
+        contexts: List[FileContext] = []
         for path in iter_python_files(paths):
-            findings.extend(self.lint_file(path))
+            ctx, _ = self.load_context(path)
+            if ctx is not None:
+                contexts.append(ctx)
+        return ProjectContext.build(contexts, root=self.root, options=self.options)
+
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        contexts: List[FileContext] = []
+        findings: List[Finding] = []
+        # Pass 1: parse once, run per-file rules.
+        for path in iter_python_files(paths):
+            ctx, parse_findings = self.load_context(path)
+            findings.extend(parse_findings)
+            if ctx is not None:
+                contexts.append(ctx)
+                findings.extend(self._check_file(ctx))
+        # Pass 2: whole-program rules over the assembled symbol table.
+        if self.project_checkers:
+            from tools.reprolint.project import ProjectContext
+
+            project = ProjectContext.build(
+                contexts, root=self.root, options=self.options
+            )
+            by_relpath = {ctx.relpath: ctx for ctx in contexts}
+            for checker in self.project_checkers:
+                for finding in checker.check_project(project):
+                    ctx = by_relpath.get(finding.path)
+                    if ctx is not None and ctx.is_suppressed(
+                        finding.line, finding.code
+                    ):
+                        continue
+                    findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
         return findings
 
 
@@ -234,10 +391,11 @@ def lint_paths(
     paths: Sequence[Path],
     checkers: Optional[Sequence[Checker]] = None,
     root: Optional[Path] = None,
+    options: Optional[Dict[str, Any]] = None,
 ) -> List[Finding]:
     """Convenience wrapper used by tests and the CLI."""
     if checkers is None:
-        from tools.reprolint.rules import ALL_CHECKERS
+        from tools.reprolint.rules import ALL_CHECKERS, ALL_PROJECT_CHECKERS
 
-        checkers = [cls() for cls in ALL_CHECKERS]
-    return LintRunner(checkers, root=root).run(list(paths))
+        checkers = [cls() for cls in (*ALL_CHECKERS, *ALL_PROJECT_CHECKERS)]
+    return LintRunner(checkers, root=root, options=options).run(list(paths))

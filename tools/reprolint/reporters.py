@@ -46,6 +46,80 @@ class JsonReporter:
         self.stream.write("\n")
 
 
+class SarifReporter:
+    """SARIF 2.1.0 output for code-scanning UIs (GitHub, VS Code).
+
+    Minimal but valid: one run, one rule descriptor per distinct code,
+    one result per finding with a physical location.
+    """
+
+    SARIF_VERSION = "2.1.0"
+    SCHEMA_URI = (
+        "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+        "Schemata/sarif-schema-2.1.0.json"
+    )
+
+    def __init__(self, stream: IO[str], checkers: Sequence[Checker] = ()) -> None:
+        self.stream = stream
+        self.checkers = list(checkers)
+
+    def _rules(self, findings: Sequence[Finding]) -> List[dict]:
+        by_code = {c.code: c for c in self.checkers}
+        rules = []
+        for code in sorted({f.code for f in findings} | set(by_code)):
+            checker = by_code.get(code)
+            rules.append(
+                {
+                    "id": code,
+                    "name": checker.name if checker else code,
+                    "shortDescription": {
+                        "text": checker.description if checker else code
+                    },
+                }
+            )
+        return rules
+
+    def report(self, findings: Sequence[Finding]) -> None:
+        payload = {
+            "$schema": self.SCHEMA_URI,
+            "version": self.SARIF_VERSION,
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "reprolint",
+                            "informationUri": (
+                                "https://example.invalid/citadel-repro/reprolint"
+                            ),
+                            "rules": self._rules(findings),
+                        }
+                    },
+                    "results": [
+                        {
+                            "ruleId": f.code,
+                            "level": "error",
+                            "message": {"text": f.message},
+                            "locations": [
+                                {
+                                    "physicalLocation": {
+                                        "artifactLocation": {"uri": f.path},
+                                        "region": {
+                                            "startLine": f.line,
+                                            "startColumn": f.col,
+                                        },
+                                    }
+                                }
+                            ],
+                        }
+                        for f in findings
+                    ],
+                }
+            ],
+        }
+        json.dump(payload, self.stream, indent=2, sort_keys=True)
+        self.stream.write("\n")
+
+
 def render_rule_list(checkers: Sequence[Type[Checker]]) -> List[str]:
     """One line per rule for ``--list-rules``."""
     lines = []

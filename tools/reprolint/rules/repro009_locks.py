@@ -1,0 +1,468 @@
+"""REPRO009 — lock discipline: shared state mutates only under its lock.
+
+The campaign service runs real ``threading.Thread`` workers
+(``CampaignScheduler``) against shared structures (``JobQueue``,
+``ResultStore``, the telemetry registry).  A data race there does not
+crash — it silently produces a different campaign result on a different
+machine, which for a reproduction is the worst possible failure mode.
+
+A class becomes **lock-disciplined** by assigning a
+``threading.Lock/RLock/Condition/Semaphore`` to a ``self._*`` attribute
+in ``__init__``.  From then on this rule statically requires that every
+mutation of the instance's attributes happens:
+
+* lexically inside ``with self.<lock>:`` (or ``with other.<lock>:`` for
+  another disciplined instance), or
+* inside a *lock-held method* — a method whose name ends in ``_locked``,
+  or whose every intra-class call site is itself guarded (computed as a
+  greatest fixpoint, so mutually recursive helpers work), or
+* in ``__init__`` / ``__post_init__``, before the object is shared.
+
+Mutations are attribute (re)assignment, augmented assignment, ``del``,
+subscript stores bottoming at ``self.<attr>``, container mutator calls
+(``append``/``add``/``pop``/``update``/...), and ``heapq.heappush`` /
+``heappop`` on a ``self`` attribute.  ``threading.Event`` attributes are
+exempt (internally synchronized), as are the lock attributes themselves.
+
+Two more findings round out the model: mutating *another* object's
+attribute when that object's class is lock-disciplined (cross-object
+races hide from per-class review), and a class that spawns threads
+while declaring no lock at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.reprolint.engine import Finding, ProjectChecker
+from tools.reprolint.project import ClassInfo, FunctionInfo, ProjectContext
+from tools.reprolint.rules.common import dotted_name
+
+#: Container methods that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "remove",
+        "discard",
+        "insert",
+        "extend",
+        "update",
+        "clear",
+        "pop",
+        "popleft",
+        "popitem",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Methods allowed to mutate freely (object not yet / no longer shared).
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__", "__del__"})
+
+
+@dataclass
+class _Mutation:
+    node: ast.AST
+    #: variable the mutated attribute hangs off ("self" or a local name).
+    base: str
+    attr: str
+    guarded: bool
+    what: str  # description of the mutation kind
+
+
+@dataclass
+class _CallSite:
+    callee: str
+    guarded: bool
+    caller: str
+
+
+class _MethodWalker:
+    """Guard-aware recursive walk of one method body.
+
+    Tracks which *bases* currently hold a lock: ``with self._lock:``
+    adds ``self``; ``with other._lock:`` (``other`` typed to a
+    disciplined class) adds ``other``.  Nested function bodies reset the
+    guard set — a closure handed to ``threading.Thread`` runs on its own
+    stack, outside any lock the enclosing frame held at definition time.
+    """
+
+    def __init__(
+        self,
+        cls: ClassInfo,
+        local_types: Dict[str, ClassInfo],
+        disciplined: Dict[str, ClassInfo],
+    ) -> None:
+        self.cls = cls
+        self.local_types = local_types
+        self.disciplined = disciplined
+        self.mutations: List[_Mutation] = []
+        self.callsites: List[Tuple[str, bool]] = []
+
+    # -- type plumbing ------------------------------------------------- #
+    def _class_of_base(self, base: str) -> Optional[ClassInfo]:
+        if base == "self":
+            return self.cls
+        info = self.local_types.get(base)
+        if info is not None:
+            return info
+        return None
+
+    def _lock_guard_base(self, expr: ast.expr) -> Optional[str]:
+        """``with <base>.<lockattr>`` -> base, else None."""
+        if not (
+            isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name)
+        ):
+            return None
+        base = expr.value.id
+        owner = self._class_of_base(base)
+        if owner is not None and expr.attr in owner.lock_attrs:
+            return base
+        return None
+
+    # -- walk ---------------------------------------------------------- #
+    def walk(self, node: ast.AST, guards: Set[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, guards)
+
+    def _visit(self, node: ast.AST, guards: Set[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # New stack frame: locks held here are irrelevant at run time.
+            self.walk(node, set())
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = set(guards)
+            for item in node.items:
+                base = self._lock_guard_base(item.context_expr)
+                if base is not None:
+                    inner.add(base)
+                self._visit(item.context_expr, guards)
+            for stmt in node.body:
+                self._visit(stmt, inner)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                self._record_store(node, target, guards)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._record_store(node, target, guards, what="del")
+        elif isinstance(node, ast.Call):
+            self._record_call(node, guards)
+        self.walk(node, guards)
+
+    # -- mutation recording -------------------------------------------- #
+    @staticmethod
+    def _subscript_base(expr: ast.expr) -> ast.expr:
+        while isinstance(expr, ast.Subscript):
+            expr = expr.value
+        return expr
+
+    def _record_store(
+        self,
+        node: ast.AST,
+        target: ast.expr,
+        guards: Set[str],
+        what: str = "assignment",
+    ) -> None:
+        target = self._subscript_base(target)
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+        ):
+            return
+        base = target.value.id
+        self.mutations.append(
+            _Mutation(
+                node=node,
+                base=base,
+                attr=target.attr,
+                guarded=base in guards,
+                what=what,
+            )
+        )
+
+    def _record_call(self, node: ast.Call, guards: Set[str]) -> None:
+        func = node.func
+        # self.method(...) -> intra-class call site for the fixpoint.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in self.cls.methods
+        ):
+            self.callsites.append((func.attr, "self" in guards))
+            return
+        # <base>.<attr>.mutator(...) e.g. self._jobs[k].append(x).
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            owner = self._subscript_base(func.value)
+            if isinstance(owner, ast.Attribute) and isinstance(
+                owner.value, ast.Name
+            ):
+                base = owner.value.id
+                self.mutations.append(
+                    _Mutation(
+                        node=node,
+                        base=base,
+                        attr=owner.attr,
+                        guarded=base in guards,
+                        what=f".{func.attr}()",
+                    )
+                )
+            return
+        # heapq.heappush(self.attr, ...) / heappop / heapify.
+        raw = dotted_name(func)
+        if raw is not None and raw.split(".")[-1] in (
+            "heappush",
+            "heappop",
+            "heapify",
+            "heappushpop",
+            "heapreplace",
+        ):
+            if node.args:
+                owner = self._subscript_base(node.args[0])
+                if isinstance(owner, ast.Attribute) and isinstance(
+                    owner.value, ast.Name
+                ):
+                    base = owner.value.id
+                    self.mutations.append(
+                        _Mutation(
+                            node=node,
+                            base=base,
+                            attr=owner.attr,
+                            guarded=base in guards,
+                            what=f"{raw.split('.')[-1]}()",
+                        )
+                    )
+
+
+def _local_types(
+    project: ProjectContext, fn: FunctionInfo
+) -> Tuple[Dict[str, ClassInfo], Set[str]]:
+    """Best-effort static types of local names in one function.
+
+    Returns ``(types, constructed)`` where ``constructed`` holds names
+    bound to objects *built inside this function*.  Such objects have
+    not escaped to another thread yet, so mutating them without a lock
+    is safe (escape-analysis-lite): ``merged = MetricsRegistry();
+    merged._counters = ...`` is a construction idiom, not a race.
+    """
+    types: Dict[str, ClassInfo] = {}
+    constructed: Set[str] = set()
+    node = fn.node
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.annotation is None or arg.arg == "self":
+            continue
+        resolved = project._class_from_annotation(
+            fn.module, ast.unparse(arg.annotation)
+        )
+        if resolved is not None:
+            types[arg.arg] = resolved
+    for stmt in ast.walk(node):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if isinstance(stmt.value, ast.Call):
+            ctor = project._resolve_class_call(fn.module, stmt.value)
+            if ctor is not None and target.id not in types:
+                types[target.id] = ctor
+                constructed.add(target.id)
+        # x = self.<attr>  where the attribute has a known class.
+        if (
+            isinstance(stmt.value, ast.Attribute)
+            and isinstance(stmt.value.value, ast.Name)
+            and stmt.value.value.id == "self"
+            and fn.cls is not None
+        ):
+            owner = project.classes.get(
+                fn.cls.attr_types.get(stmt.value.attr, "")
+            )
+            if owner is not None:
+                types.setdefault(target.id, owner)
+    return types, constructed
+
+
+class LockDisciplineChecker(ProjectChecker):
+    code = "REPRO009"
+    name = "lock-discipline"
+    description = (
+        "attributes of lock-declaring classes must be mutated under "
+        "'with self.<lock>:', in a lock-held method, or in __init__"
+    )
+    include = ("src/*",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        disciplined = {
+            cls.qualname: cls
+            for cls in project.iter_classes()
+            if cls.lock_attrs and self.applies_to(cls.ctx.relpath)
+        }
+        for cls in disciplined.values():
+            yield from self._check_class(project, cls, disciplined)
+        yield from self._check_external(project, disciplined)
+        yield from self._check_lockless_threaders(project, disciplined)
+
+    # ------------------------------------------------------------------ #
+    def _check_class(
+        self,
+        project: ProjectContext,
+        cls: ClassInfo,
+        disciplined: Dict[str, ClassInfo],
+    ) -> Iterator[Finding]:
+        walkers: Dict[str, _MethodWalker] = {}
+        for name, method in cls.methods.items():
+            types, _ = _local_types(project, method)
+            walker = _MethodWalker(cls, types, disciplined)
+            walker.walk(method.node, set())
+            walkers[name] = walker
+        held = self._lock_held_methods(cls, walkers)
+        locks = ", ".join(sorted(cls.lock_attrs))
+        for name in sorted(walkers):
+            if name in _CONSTRUCTION_METHODS or name in held:
+                continue
+            for mutation in walkers[name].mutations:
+                if mutation.base != "self" or mutation.guarded:
+                    continue
+                if mutation.attr in cls.lock_attrs | cls.event_attrs:
+                    continue
+                # ``self.queue.pop()`` where ``queue`` is itself a
+                # lock-disciplined class is delegation to an internally
+                # synchronized method, not a raw container mutation.
+                if (
+                    mutation.what.startswith(".")
+                    and cls.attr_types.get(mutation.attr) in disciplined
+                ):
+                    continue
+                yield self.finding(
+                    cls.ctx,
+                    mutation.node,
+                    f"{mutation.what} of 'self.{mutation.attr}' in "
+                    f"'{cls.name}.{name}' outside 'with self.<lock>:' "
+                    f"(declared locks: {locks}); guard it or rename the "
+                    "method '*_locked' and call it under the lock",
+                )
+
+    def _lock_held_methods(
+        self, cls: ClassInfo, walkers: Dict[str, _MethodWalker]
+    ) -> Set[str]:
+        """Greatest fixpoint of "only ever called with the lock held"."""
+        callsites: Dict[str, List[Tuple[str, bool]]] = {}
+        for caller, walker in walkers.items():
+            for callee, guarded in walker.callsites:
+                callsites.setdefault(callee, []).append((caller, guarded))
+        held = {
+            name
+            for name in cls.methods
+            if name.endswith("_locked") or name in callsites
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(held):
+                if name.endswith("_locked"):
+                    continue
+                ok = all(
+                    guarded
+                    or caller in _CONSTRUCTION_METHODS
+                    or caller in held
+                    for caller, guarded in callsites.get(name, [])
+                )
+                if not ok:
+                    held.discard(name)
+                    changed = True
+        return held
+
+    # ------------------------------------------------------------------ #
+    def _check_external(
+        self,
+        project: ProjectContext,
+        disciplined: Dict[str, ClassInfo],
+    ) -> Iterator[Finding]:
+        """Mutation of another object's attr when its class is disciplined."""
+        for fn in project.iter_functions():
+            if not self.applies_to(fn.ctx.relpath):
+                continue
+            cls = fn.cls
+            types, constructed = _local_types(project, fn)
+            walker = _MethodWalker(
+                cls if cls is not None else _DUMMY_CLASS,
+                types,
+                disciplined,
+            )
+            walker.walk(fn.node, set())
+            for mutation in walker.mutations:
+                if mutation.base == "self" or mutation.base in constructed:
+                    continue
+                owner = walker.local_types.get(mutation.base)
+                if owner is None or owner.qualname not in disciplined:
+                    continue
+                if mutation.attr in owner.lock_attrs | owner.event_attrs:
+                    continue
+                if mutation.guarded:
+                    continue
+                yield self.finding(
+                    fn.ctx,
+                    mutation.node,
+                    f"{mutation.what} of '{mutation.base}.{mutation.attr}' "
+                    f"mutates lock-disciplined class '{owner.name}' from "
+                    f"'{fn.qualname.split('.')[-1]}' without holding "
+                    f"'{mutation.base}.<lock>'; add a synchronized method "
+                    f"on '{owner.name}' instead",
+                )
+
+    # ------------------------------------------------------------------ #
+    def _check_lockless_threaders(
+        self,
+        project: ProjectContext,
+        disciplined: Dict[str, ClassInfo],
+    ) -> Iterator[Finding]:
+        for cls in project.iter_classes():
+            if not self.applies_to(cls.ctx.relpath):
+                continue
+            if not cls.spawns_threads or cls.lock_attrs:
+                continue
+            mutates_after_init = False
+            for name, method in cls.methods.items():
+                if name in _CONSTRUCTION_METHODS:
+                    continue
+                walker = _MethodWalker(cls, {}, disciplined)
+                walker.walk(method.node, set())
+                if any(m.base == "self" for m in walker.mutations):
+                    mutates_after_init = True
+                    break
+            if mutates_after_init:
+                yield self.finding(
+                    cls.ctx,
+                    cls.node,
+                    f"class '{cls.name}' spawns threading.Thread but "
+                    "declares no lock; its attribute mutations cannot be "
+                    "checked for races — add a threading.Lock/RLock",
+                )
+
+
+#: Placeholder for module-level functions (no ``self`` to resolve).
+_DUMMY_CLASS = ClassInfo(
+    qualname="<module>",
+    name="<module>",
+    node=ast.ClassDef(
+        name="<module>",
+        bases=[],
+        keywords=[],
+        body=[],
+        decorator_list=[],
+    ),
+    ctx=None,  # type: ignore[arg-type]
+    module=None,  # type: ignore[arg-type]
+)

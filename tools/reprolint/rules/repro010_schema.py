@@ -1,0 +1,258 @@
+"""REPRO010 — checkpoint-schema drift: serialized dataclasses are versioned.
+
+Campaign checkpoints outlive the process that wrote them: a resumed run
+deserializes JSON written by an older build.  If a dataclass on a
+checkpoint/serialization path gains, loses, or retypes a field without a
+``CHECKPOINT_VERSION`` bump, the old-payload/new-code mismatch surfaces
+as a silently wrong resume instead of a clean "stale checkpoint" reject.
+
+The rule fingerprints the **checkpoint schema** statically:
+
+* **Roots** — every dataclass that defines a serializer
+  (``to_dict`` / ``canonical_dict``), plus every dataclass passed to
+  ``dataclasses.asdict(self.<attr>)`` from a checkpoint writer (resolved
+  through the project attribute-type map, e.g. ``EngineConfig`` via
+  ``ParallelLifetimeRunner._fingerprint``).
+* **Closure** — field annotations of reached dataclasses are scanned for
+  further analyzed dataclasses (``SparingStats`` inside
+  ``ReliabilityResult``), transitively.
+* **Fingerprint** — per class, the ordered ``name: annotation`` list of
+  its fields, recorded together with the current ``CHECKPOINT_VERSION``
+  in a committed lockfile (``tools/reprolint/schema_lock.json``).
+
+On every lint run the live fingerprints are compared to the lockfile:
+
+* fields changed, version unchanged  -> "bump CHECKPOINT_VERSION";
+* fields changed, version bumped     -> "regenerate the lockfile"
+  (``--write-lockfile``), so the diff shows reviewers exactly which
+  classes moved;
+* version changed, lockfile stale    -> "regenerate the lockfile".
+
+Trees with no checkpoint-reachable dataclasses (unit-test fixtures) are
+exempt from the lockfile requirement entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+from tools.reprolint.engine import Finding, ProjectChecker
+from tools.reprolint.project import ClassInfo, ProjectContext
+
+SCHEMA_LOCK_DEFAULT = Path("tools") / "reprolint" / "schema_lock.json"
+LOCKFILE_SCHEMA_VERSION = 1
+
+#: Serializer method names that make a dataclass a schema root.
+_SERIALIZER_METHODS = frozenset({"to_dict", "canonical_dict"})
+
+#: The version constant the rule ratchets against.
+VERSION_CONSTANT = "CHECKPOINT_VERSION"
+
+
+def lockfile_path(project: ProjectContext) -> Path:
+    configured = project.options.get("schema_lockfile")
+    if configured is not None:
+        return Path(configured)
+    return project.root / SCHEMA_LOCK_DEFAULT
+
+
+def checkpoint_version(project: ProjectContext) -> Optional[int]:
+    """Current ``CHECKPOINT_VERSION`` (first defining module, sorted)."""
+    for name in sorted(project.modules):
+        value = project.modules[name].int_constants.get(VERSION_CONSTANT)
+        if value is not None:
+            return value
+    return None
+
+
+def _schema_roots(project: ProjectContext) -> List[ClassInfo]:
+    roots: Dict[str, ClassInfo] = {}
+    for cls in project.iter_classes():
+        if not cls.is_dataclass or not cls.ctx.relpath.startswith("src/"):
+            continue
+        if any(name in _SERIALIZER_METHODS for name in cls.methods):
+            roots[cls.qualname] = cls
+    # dataclasses.asdict(self.<attr>) from any src function.
+    for fn in project.iter_functions():
+        if not fn.ctx.relpath.startswith("src/"):
+            continue
+        for call in fn.calls:
+            if call.raw is None:
+                continue
+            if call.raw.split(".")[-1] != "asdict":
+                continue
+            for arg in call.node.args:
+                if not (
+                    isinstance(arg, ast.Attribute)
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id == "self"
+                    and fn.cls is not None
+                ):
+                    continue
+                target = project.classes.get(
+                    fn.cls.attr_types.get(arg.attr, "")
+                )
+                if target is not None and target.is_dataclass:
+                    roots[target.qualname] = target
+    return [roots[q] for q in sorted(roots)]
+
+
+def _schema_closure(
+    project: ProjectContext, roots: List[ClassInfo]
+) -> Dict[str, ClassInfo]:
+    reached: Dict[str, ClassInfo] = {}
+    frontier = list(roots)
+    while frontier:
+        cls = frontier.pop()
+        if cls.qualname in reached:
+            continue
+        reached[cls.qualname] = cls
+        for _, annotation in cls.fields:
+            nested = project._class_from_annotation(cls.module, annotation)
+            if (
+                nested is not None
+                and nested.is_dataclass
+                and nested.qualname not in reached
+            ):
+                frontier.append(nested)
+    return reached
+
+
+def fingerprints(project: ProjectContext) -> Dict[str, List[str]]:
+    """qualname -> ordered ``name: annotation`` field list."""
+    reached = _schema_closure(project, _schema_roots(project))
+    return {
+        qualname: [f"{name}: {annotation}" for name, annotation in cls.fields]
+        for qualname, cls in sorted(reached.items())
+    }
+
+
+def compute_lock_payload(project: ProjectContext) -> Dict[str, object]:
+    return {
+        "schema": LOCKFILE_SCHEMA_VERSION,
+        "checkpoint_version": checkpoint_version(project),
+        "classes": fingerprints(project),
+    }
+
+
+def render_lock_payload(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class SchemaDriftChecker(ProjectChecker):
+    code = "REPRO010"
+    name = "checkpoint-schema-drift"
+    description = (
+        "checkpoint-reachable dataclass fields must match the committed "
+        "schema lockfile; schema changes require a CHECKPOINT_VERSION "
+        "bump and a lockfile regeneration (--write-lockfile)"
+    )
+    include = ("src/*",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        current = fingerprints(project)
+        lock_path = lockfile_path(project)
+        if not current and not lock_path.exists():
+            return  # nothing checkpointed, nothing to ratchet
+        version = checkpoint_version(project)
+        if not lock_path.exists():
+            yield self._project_finding(
+                project,
+                f"schema lockfile {self._relpath(project, lock_path)} is "
+                f"missing but {len(current)} checkpoint-reachable "
+                "dataclass(es) exist; generate it with --write-lockfile",
+            )
+            return
+        try:
+            locked = json.loads(lock_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            yield self._project_finding(
+                project,
+                f"schema lockfile {self._relpath(project, lock_path)} is "
+                f"unreadable ({exc}); regenerate it with --write-lockfile",
+            )
+            return
+        locked_version = locked.get("checkpoint_version")
+        locked_classes: Dict[str, List[str]] = {
+            str(k): list(v) for k, v in locked.get("classes", {}).items()
+        }
+        version_bumped = version != locked_version
+        drifted: Set[str] = set()
+        for qualname in sorted(set(current) | set(locked_classes)):
+            live = current.get(qualname)
+            recorded = locked_classes.get(qualname)
+            if live == recorded:
+                continue
+            drifted.add(qualname)
+            yield from self._drift_finding(
+                project, qualname, live, recorded, version_bumped
+            )
+        if not drifted and version_bumped:
+            yield self._project_finding(
+                project,
+                f"{VERSION_CONSTANT} is {version} but the schema lockfile "
+                f"records {locked_version}; regenerate the lockfile with "
+                "--write-lockfile",
+            )
+
+    # ------------------------------------------------------------------ #
+    def _drift_finding(
+        self,
+        project: ProjectContext,
+        qualname: str,
+        live: Optional[List[str]],
+        recorded: Optional[List[str]],
+        version_bumped: bool,
+    ) -> Iterator[Finding]:
+        remedy = (
+            "regenerate the schema lockfile with --write-lockfile"
+            if version_bumped
+            else f"bump {VERSION_CONSTANT} and regenerate the schema "
+            "lockfile with --write-lockfile"
+        )
+        cls = project.classes.get(qualname)
+        if cls is None:
+            yield self._project_finding(
+                project,
+                f"checkpointed dataclass '{qualname}' was removed or is no "
+                f"longer checkpoint-reachable; {remedy}",
+            )
+            return
+        added = sorted(set(live or ()) - set(recorded or ()))
+        removed = sorted(set(recorded or ()) - set(live or ()))
+        details = []
+        if recorded is None:
+            details.append("newly checkpoint-reachable")
+        if added:
+            details.append(f"added [{', '.join(added)}]")
+        if removed and recorded is not None:
+            details.append(f"removed [{', '.join(removed)}]")
+        if not details:
+            details.append("field order changed")
+        yield self.finding(
+            cls.ctx,
+            cls.node,
+            f"checkpoint schema of '{cls.name}' drifted from the lockfile "
+            f"({'; '.join(details)}); {remedy}",
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _relpath(project: ProjectContext, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(project.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _project_finding(self, project: ProjectContext, message: str) -> Finding:
+        """Finding not anchored in any analyzed source file."""
+        return Finding(
+            path=self._relpath(project, lockfile_path(project)),
+            line=1,
+            col=1,
+            code=self.code,
+            message=message,
+        )
