@@ -41,6 +41,7 @@ from repro.errors import ReproError, TelemetryError
 from repro.faults.rates import FailureRates
 from repro.perf import PerfConfig, PowerModel, SystemSimulator
 from repro.reliability.montecarlo import EngineConfig
+from repro.reliability.sampling import SAMPLING_METHODS
 from repro.reliability.parallel import (
     DEFAULT_SHARD_SIZE,
     EarlyStopPolicy,
@@ -136,6 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resume from --checkpoint if it exists")
     rel.add_argument("--time-budget", type=float, default=None, metavar="S",
                      help="stop dispatching shards after S seconds")
+    rel.add_argument("--sampling", choices=list(SAMPLING_METHODS),
+                     default="naive",
+                     help="variance-reduction plan: stratified fault-count "
+                          "strata or importance-sampled epoch clustering")
+    rel.add_argument("--target-ci-width", type=float, default=None,
+                     metavar="W",
+                     help="stop once the anytime-valid failure-probability "
+                          "CI is narrower than W (checked at shard merges)")
     rel.add_argument("--early-stop", type=float, default=None, metavar="REL",
                      help="stop once the 95%% CI half-width is below REL "
                           "of the failure probability (e.g. 0.1)")
@@ -234,6 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE,
                         metavar="N")
+    submit.add_argument("--sampling", choices=list(SAMPLING_METHODS),
+                        default="naive",
+                        help="variance-reduction plan for the campaign")
+    submit.add_argument("--target-ci-width", type=float, default=None,
+                        metavar="W",
+                        help="anytime-valid CI width at which the campaign "
+                             "stops early")
     submit.add_argument("--modes", action="store_true",
                         help="collect failure-mode attribution")
     submit.add_argument("--telemetry", action="store_true",
@@ -358,6 +374,8 @@ def cmd_reliability(args: argparse.Namespace) -> int:
             scrub_interval_hours=args.scrub_hours,
             collect_failure_modes=args.modes,
             collect_metrics=collect_metrics,
+            sampling=args.sampling,
+            target_ci_width=args.target_ci_width,
         ),
         root_seed=args.seed,
         workers=args.workers,
@@ -498,6 +516,8 @@ def _spec_from_args(args: argparse.Namespace) -> "object":
         shard_size=args.shard_size,
         modes=args.modes,
         telemetry=args.telemetry,
+        sampling=args.sampling,
+        target_ci_width=args.target_ci_width,
     )
 
 

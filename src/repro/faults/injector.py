@@ -123,6 +123,38 @@ class FaultInjector:
         return max(0.0, 1.0 - cdf)
 
     # ------------------------------------------------------------------ #
+    def sample_count(
+        self,
+        lifetime_hours: float = LIFETIME_HOURS,
+        min_faults: int = 0,
+    ) -> Tuple[int, float]:
+        """Sample the lifetime fault count ``N`` (optionally conditioned
+        on ``N >= min_faults``); returns ``(count, stratum weight)``."""
+        lam = self.expected_faults(lifetime_hours)
+        if min_faults <= 0:
+            return self._sample_poisson(lam), 1.0
+        return (
+            self._sample_truncated_poisson(lam, min_faults),
+            self.prob_at_least(min_faults, lifetime_hours),
+        )
+
+    def sample_kinds(self, count: int) -> List[Fault]:
+        """``count`` faults with kind/permanence/placement but no arrival
+        time yet (the time-independent half of the arrival process)."""
+        return [self._sample_fault() for _ in range(count)]
+
+    @staticmethod
+    def place_at(faults: List[Fault], times: List[float]) -> List[Fault]:
+        """Attach arrival times (sorted) to sampled faults.
+
+        Kinds are exchangeable and independent of times, so zipping the
+        kind draws onto the *sorted* times in order preserves the joint
+        arrival distribution — and lets alternative time proposals
+        (``repro.reliability.sampling``) reuse the kind sampler as-is.
+        """
+        ordered = sorted(times)
+        return [fault.at_time(t) for fault, t in zip(faults, ordered)]
+
     def sample_lifetime(
         self,
         lifetime_hours: float = LIFETIME_HOURS,
@@ -134,17 +166,10 @@ class FaultInjector:
         time and ``weight`` is the probability mass of the stratum the
         sample was drawn from (1.0 for unconditioned sampling).
         """
-        lam = self.expected_faults(lifetime_hours)
-        if min_faults <= 0:
-            count = self._sample_poisson(lam)
-            weight = 1.0
-        else:
-            count = self._sample_truncated_poisson(lam, min_faults)
-            weight = self.prob_at_least(min_faults, lifetime_hours)
-        faults = [self._sample_fault() for _ in range(count)]
-        times = sorted(self.rng.uniform(0.0, lifetime_hours) for _ in range(count))
-        faults = [fault.at_time(t) for fault, t in zip(faults, times)]
-        return faults, weight
+        count, weight = self.sample_count(lifetime_hours, min_faults)
+        faults = self.sample_kinds(count)
+        times = [self.rng.uniform(0.0, lifetime_hours) for _ in range(count)]
+        return self.place_at(faults, times), weight
 
     # ------------------------------------------------------------------ #
     def _sample_poisson(self, lam: float) -> int:

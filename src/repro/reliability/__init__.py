@@ -11,7 +11,16 @@ from repro.reliability.parallel import (
     ShardSpec,
     shard_plan,
 )
-from repro.reliability.results import ReliabilityResult, SparingStats
+from repro.reliability.results import ReliabilityResult, SparingStats, StratumStats
+from repro.reliability.sampling import (
+    SAMPLING_METHODS,
+    ImportanceSampler,
+    StratifiedSampler,
+    StratumDef,
+    clustered_likelihood_ratio,
+    make_sampler,
+)
+from repro.reliability.stopping import ConfidenceSequence, StoppingRule
 
 __all__ = [
     "LifetimeSimulator",
@@ -20,10 +29,19 @@ __all__ = [
     "AvailabilityModel",
     "ReliabilityResult",
     "SparingStats",
+    "StratumStats",
     "ParallelLifetimeRunner",
     "EarlyStopPolicy",
+    "StoppingRule",
+    "ConfidenceSequence",
     "CampaignReport",
     "CrashInjection",
     "ShardSpec",
     "shard_plan",
+    "SAMPLING_METHODS",
+    "StratumDef",
+    "StratifiedSampler",
+    "ImportanceSampler",
+    "clustered_likelihood_ratio",
+    "make_sampler",
 ]

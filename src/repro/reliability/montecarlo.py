@@ -37,7 +37,17 @@ from repro.ecc.base import CorrectionModel
 from repro.faults.injector import FaultInjector
 from repro.faults.rates import FailureRates
 from repro.faults.types import Fault
-from repro.reliability.results import ReliabilityResult, SparingStats
+from repro.reliability.results import (
+    ReliabilityResult,
+    SparingStats,
+    StratumStats,
+)
+from repro.reliability.sampling import (
+    SAMPLING_METHODS,
+    StratumDef,
+    TrialSampler,
+    make_sampler,
+)
 from repro.rng import make_rng
 from repro.stack.geometry import (
     LIFETIME_HOURS,
@@ -81,6 +91,16 @@ class EngineConfig:
     #: the from-scratch path — the reference used by the differential
     #: tests and ``bench_engine_hotpath``.
     incremental_correction: bool = True
+    #: Sampling plan over the fault-arrival process: ``"naive"`` is the
+    #: legacy single-stratum path (byte-identical to prior releases),
+    #: ``"stratified"`` partitions by exact fault count, ``"importance"``
+    #: adds the epoch-clustered time proposal with exact likelihood-ratio
+    #: reweighting (see :mod:`repro.reliability.sampling`).
+    sampling: str = "naive"
+    #: When set, campaigns stop once the anytime-valid confidence
+    #: sequence over the failure probability is narrower than this
+    #: (consulted by ``ParallelLifetimeRunner`` at shard merge points).
+    target_ci_width: Optional[float] = None
 
     def __post_init__(self) -> None:
         contracts.check_non_negative(self.tsv_swap_standby, "tsv_swap_standby")
@@ -95,6 +115,17 @@ class EngineConfig:
             self.lifetime_hours > 0,
             "lifetime_hours must be positive, got %r",
             self.lifetime_hours,
+        )
+        contracts.require(
+            self.sampling in SAMPLING_METHODS,
+            "sampling must be one of %r, got %r",
+            SAMPLING_METHODS,
+            self.sampling,
+        )
+        contracts.require(
+            self.target_ci_width is None or self.target_ci_width > 0,
+            "target_ci_width must be positive or None, got %r",
+            self.target_ci_width,
         )
 
 
@@ -157,6 +188,8 @@ class LifetimeSimulator:
     ) -> ReliabilityResult:
         """Run ``trials`` lifetimes and aggregate the failure statistics."""
         strata_min = self.default_min_faults() if min_faults is None else min_faults
+        if self.config.sampling != "naive":
+            return self._run_sampled(trials, strata_min, label)
         stats = SparingStats() if self.config.collect_sparing_stats else None
         metrics = MetricsRegistry() if self.config.collect_metrics else None
         failures = 0
@@ -243,10 +276,23 @@ class LifetimeSimulator:
     ) -> Tuple[Optional[Tuple[float, Optional[str]]], float]:
         """One lifetime; returns ((failure time, failure mode) or None,
         stratum weight of the sampled trial)."""
-        config = self.config
         faults, weight = self.injector.sample_lifetime(
-            config.lifetime_hours, min_faults=min_faults
+            self.config.lifetime_hours, min_faults=min_faults
         )
+        return self._simulate(faults, stats, metrics, tracer), weight
+
+    def _simulate(
+        self,
+        faults: List[Fault],
+        stats: Optional[SparingStats],
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[TraceWriter] = None,
+    ) -> Optional[Tuple[float, Optional[str]]]:
+        """Simulate one sampled fault history through the mitigation stack;
+        returns (failure time, failure mode) or None.  Shared by the naive
+        path and every :mod:`repro.reliability.sampling` plan — samplers
+        only change *which* histories are fed in, never the simulation."""
+        config = self.config
         if metrics is not None:
             metrics.inc("engine/faults_sampled", len(faults))
             metrics.observe(
@@ -319,7 +365,142 @@ class LifetimeSimulator:
                 break
         if stats is not None:
             self._collect_sparing_stats(faults, stats)
-        return outcome, weight
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    def _expected_stratum_weight(self, stratum: StratumDef) -> float:
+        """Engine-side recomputation of a stratum's probability mass.
+
+        Mirrors the naive path's weight contract: the sampler's declared
+        masses must agree *bitwise* with the engine's own Poisson-tail
+        arithmetic, so a drive-by change to either side cannot silently
+        bias the estimator.
+        """
+        lifetime = self.config.lifetime_hours
+        if stratum.exact_count is not None:
+            return self.injector.prob_at_least(
+                stratum.exact_count, lifetime
+            ) - self.injector.prob_at_least(stratum.exact_count + 1, lifetime)
+        return self.injector.prob_at_least(stratum.min_count, lifetime)
+
+    def _run_sampled(
+        self,
+        trials: int,
+        strata_min: int,
+        label: Optional[str],
+    ) -> ReliabilityResult:
+        """Run ``trials`` lifetimes under a stratified/importance plan.
+
+        The result carries ``stratum_weight = 1.0`` plus per-stratum
+        :class:`StratumStats`; the strata-aware estimators on
+        :class:`ReliabilityResult` reweight each failure by its exact
+        likelihood ratio, keeping the failure probability unbiased.
+        """
+        config = self.config
+        sampler = make_sampler(
+            config.sampling,
+            self.injector,
+            lifetime_hours=config.lifetime_hours,
+            scrub_interval_hours=config.scrub_interval_hours,
+            min_faults=strata_min,
+        )
+        contracts.require(
+            sampler is not None,
+            "run() must dispatch sampling=%r to the naive path",
+            config.sampling,
+        )
+        assert sampler is not None  # for the type checker
+        for stratum in sampler.strata:
+            expected = self._expected_stratum_weight(stratum)
+            contracts.require(
+                math.isclose(
+                    stratum.weight, expected, rel_tol=0.0, abs_tol=0.0
+                ),
+                "stratum %s: plan weight %r disagrees bitwise with the "
+                "engine's tail probability %r",
+                stratum.key,
+                stratum.weight,
+                expected,
+            )
+        counts = sampler.allocate(trials)
+        stats = SparingStats() if config.collect_sparing_stats else None
+        metrics = MetricsRegistry() if config.collect_metrics else None
+        failures = 0
+        failure_times: List[float] = []
+        modes: Counter[str] = Counter()
+        tallies: List[StratumStats] = []
+        previous_model_metrics = self.model.metrics
+        if metrics is not None:
+            self.model.metrics = metrics
+        index = 0
+        try:
+            for stratum, quota in zip(sampler.strata, counts):
+                stratum_failures = 0
+                ratios: List[float] = []
+                for _ in range(quota):
+                    tracer = self.tracer
+                    if tracer is not None and tracer.should_sample(index):
+                        with tracer.span(
+                            "trial", index=index, stratum=stratum.key
+                        ):
+                            faults, ratio = sampler.sample(stratum)
+                            outcome = self._simulate(
+                                faults, stats, metrics, tracer
+                            )
+                    else:
+                        faults, ratio = sampler.sample(stratum)
+                        outcome = self._simulate(faults, stats, metrics, None)
+                    contracts.require(
+                        0.0 < ratio <= stratum.bound,
+                        "stratum %s: likelihood ratio %r outside (0, %r]",
+                        stratum.key,
+                        ratio,
+                        stratum.bound,
+                    )
+                    index += 1
+                    if outcome is not None:
+                        failed_at, mode = outcome
+                        failures += 1
+                        stratum_failures += 1
+                        ratios.append(ratio)
+                        failure_times.append(failed_at)
+                        if mode is not None:
+                            modes[mode] += 1
+                tallies.append(
+                    StratumStats(
+                        key=stratum.key,
+                        weight=stratum.weight,
+                        bound=stratum.bound,
+                        trials=quota,
+                        failures=stratum_failures,
+                        failure_weights=sorted(ratios),
+                    )
+                )
+                if metrics is not None:
+                    metrics.inc(f"sampling/trials/{stratum.key}", quota)
+                    metrics.inc(
+                        f"sampling/failures/{stratum.key}", stratum_failures
+                    )
+        finally:
+            self.model.metrics = previous_model_metrics
+        if metrics is not None:
+            metrics.inc("engine/trials", trials)
+            metrics.inc("engine/failures", failures)
+            self.last_run_metrics = metrics
+            metrics = metrics.deterministic_snapshot()
+        return ReliabilityResult(
+            scheme_name=label if label is not None else self._label(),
+            trials=trials,
+            failures=failures,
+            stratum_weight=1.0,
+            lifetime_hours=config.lifetime_hours,
+            min_faults=strata_min,
+            sparing=stats,
+            failure_times_hours=failure_times,
+            failure_modes=modes,
+            metrics=metrics,
+            strata=tallies,
+        )
 
     @staticmethod
     def _scrub_epoch_at(

@@ -78,6 +78,7 @@ from repro.errors import CheckpointError
 from repro.faults.rates import FailureRates
 from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
 from repro.reliability.results import ReliabilityResult
+from repro.reliability.stopping import StoppingRule
 from repro.rng import derive_seed
 from repro.stack.geometry import StackGeometry
 from repro.telemetry.progress import ProgressReporter
@@ -86,8 +87,10 @@ from repro.telemetry.tracing import TraceWriter
 
 #: v2: ``EngineConfig`` grew ``collect_metrics``; v3: it grew
 #: ``incremental_correction`` (the fingerprint embeds ``asdict(config)``,
-#: so older checkpoints cannot be resumed).
-CHECKPOINT_VERSION = 3
+#: so older checkpoints cannot be resumed); v4: it grew ``sampling`` /
+#: ``target_ci_width`` and shard results grew per-stratum tallies
+#: (``ReliabilityResult.strata``).
+CHECKPOINT_VERSION = 4
 
 #: Bucket edges (seconds) of the wall-clock shard-latency histogram kept
 #: in ``last_campaign_metrics`` (volatile: never merged into results).
@@ -281,6 +284,7 @@ class ParallelLifetimeRunner:
         resume: bool = False,
         time_budget_s: Optional[float] = None,
         early_stop: Optional[EarlyStopPolicy] = None,
+        stopping: Optional[StoppingRule] = None,
         crash_injection: Optional[CrashInjection] = None,
         progress: bool = False,
         progress_interval_s: float = 1.0,
@@ -317,6 +321,11 @@ class ParallelLifetimeRunner:
         self.resume = resume
         self.time_budget_s = time_budget_s
         self.early_stop = early_stop
+        #: Anytime-valid stopping rule, consulted on the contiguous shard
+        #: prefix alongside ``early_stop``.  When None but the engine
+        #: config sets ``target_ci_width``, :meth:`run` resolves a default
+        #: :class:`StoppingRule` — the path the campaign service uses.
+        self.stopping = stopping
         self.crash_injection = (
             crash_injection if crash_injection is not None else CrashInjection()
         )
@@ -339,6 +348,7 @@ class ParallelLifetimeRunner:
         self._reporter: Optional[ProgressReporter] = None
         self._tracer: Optional[TraceWriter] = None
         self._campaign: Optional[MetricsRegistry] = None
+        self._active_stopping: Optional[StoppingRule] = None
 
     # ------------------------------------------------------------------ #
     def run(
@@ -364,6 +374,9 @@ class ParallelLifetimeRunner:
             template.default_min_faults() if min_faults is None else min_faults
         )
         resolved_label = label if label is not None else template.scheme_label()
+        self._active_stopping = self.stopping
+        if self._active_stopping is None and self.config.target_ci_width is not None:
+            self._active_stopping = StoppingRule(self.config.target_ci_width)
         shards = shard_plan(trials, self.shard_size, self.root_seed)
         report = CampaignReport(planned_shards=len(shards))
         fingerprint = self._fingerprint(trials, resolved_min, resolved_label)
@@ -446,9 +459,36 @@ class ParallelLifetimeRunner:
                 lifetime_hours=self.config.lifetime_hours,
                 min_faults=resolved_min,
             )
+        self._record_campaign_outcome(trials, merged, report)
         report.elapsed_seconds = time.monotonic() - started
         self.last_report = report
         return merged
+
+    def _record_campaign_outcome(
+        self,
+        planned_trials: int,
+        merged: ReliabilityResult,
+        report: CampaignReport,
+    ) -> None:
+        """Volatile campaign observability for the stopping layer: trials
+        saved by stopping early, final anytime-valid CI width, and the
+        effective (importance-weighted) failure count of the merge."""
+        registry = self.last_campaign_metrics
+        if registry is None:
+            return
+        if report.stopped_early:
+            registry.inc(
+                "campaign/trials_saved",
+                max(0, planned_trials - merged.trials),
+            )
+        if self._active_stopping is not None:
+            lo, hi = self._active_stopping.interval(merged)
+            registry.gauge_set("campaign/ci_width", hi - lo, volatile=True)
+        registry.gauge_set(
+            "campaign/effective_failures",
+            merged.effective_failures(),
+            volatile=True,
+        )
 
     # ------------------------------------------------------------------ #
     def _run_serial(
@@ -643,9 +683,16 @@ class ParallelLifetimeRunner:
 
         Only contiguous prefixes are considered so the decision depends
         on the shard plan, never on completion order; a failed shard
-        breaks the prefix and disables stopping past it.
+        breaks the prefix and disables stopping past it.  Both the legacy
+        Wald-interval :class:`EarlyStopPolicy` and the anytime-valid
+        :class:`StoppingRule` are consulted; either may fire.
         """
-        if self.early_stop is None or not completed:
+        rules = [
+            rule
+            for rule in (self.early_stop, self._active_stopping)
+            if rule is not None
+        ]
+        if not rules or not completed:
             return None
         failed_set = set(failed)
         prefix = ReliabilityResult.identity()
@@ -654,7 +701,7 @@ class ParallelLifetimeRunner:
             if k in failed_set:
                 return None
             prefix = prefix.merge(completed[k])
-            if self.early_stop.satisfied(prefix):
+            if any(rule.satisfied(prefix) for rule in rules):
                 return k
             k += 1
         return None

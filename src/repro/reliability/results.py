@@ -74,6 +74,92 @@ class SparingStats:
 
 
 @dataclass
+class StratumStats:
+    """Per-stratum tallies of a stratified / importance-sampled run.
+
+    ``weight`` is the stratum's probability mass under the target
+    fault-arrival process and ``bound`` the a-priori supremum of the
+    per-trial likelihood ratio (1.0 for exact conditional sampling).
+    ``failure_weights`` holds one likelihood ratio per failing trial,
+    kept as a *sorted list* rather than a running float sum: float
+    addition is not associative, so only int adds and sorted-list
+    concatenation keep the shard merge exactly associative (the
+    worker-count-independence invariant).
+    """
+
+    key: str
+    weight: float
+    bound: float = 1.0
+    trials: int = 0
+    failures: int = 0
+    failure_weights: List[float] = field(default_factory=list)
+
+    def canonical(self) -> "StratumStats":
+        return StratumStats(
+            key=self.key,
+            weight=self.weight,
+            bound=self.bound,
+            trials=self.trials,
+            failures=self.failures,
+            failure_weights=sorted(self.failure_weights),
+        )
+
+    def merge(self, other: "StratumStats") -> "StratumStats":
+        """Combine two shards' tallies for the same stratum."""
+        if (
+            self.key != other.key
+            or self.weight != other.weight  # reprolint: disable=REPRO003
+            or self.bound != other.bound  # reprolint: disable=REPRO003
+        ):
+            raise MergeError(
+                f"cannot merge stratum ({self.key!r}, w={self.weight!r}, "
+                f"b={self.bound!r}) with ({other.key!r}, "
+                f"w={other.weight!r}, b={other.bound!r})"
+            )
+        return StratumStats(
+            key=self.key,
+            weight=self.weight,
+            bound=self.bound,
+            trials=self.trials + other.trials,
+            failures=self.failures + other.failures,
+            failure_weights=sorted(
+                self.failure_weights + other.failure_weights
+            ),
+        )
+
+    def weighted_failures(self) -> float:
+        """Sum of the per-failure likelihood ratios (deterministic:
+        ``fsum`` over the sorted list)."""
+        return math.fsum(sorted(self.failure_weights))
+
+    def second_moment(self) -> float:
+        """Sum of squared per-failure likelihood ratios (same order
+        discipline as :meth:`weighted_failures`)."""
+        return math.fsum(w * w for w in sorted(self.failure_weights))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "weight": self.weight,
+            "bound": self.bound,
+            "trials": self.trials,
+            "failures": self.failures,
+            "failure_weights": list(self.failure_weights),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StratumStats":
+        return cls(
+            key=str(data["key"]),
+            weight=float(data["weight"]),
+            bound=float(data["bound"]),
+            trials=int(data["trials"]),
+            failures=int(data["failures"]),
+            failure_weights=[float(w) for w in data["failure_weights"]],
+        )
+
+
+@dataclass
 class ReliabilityResult:
     """Outcome of one Monte-Carlo reliability run."""
 
@@ -88,6 +174,10 @@ class ReliabilityResult:
     failure_times_hours: List[float] = field(default_factory=list)
     #: Failure-mode attribution: "kind+kind" -> count (when collected).
     failure_modes: Counter[str] = field(default_factory=Counter)
+    #: Per-stratum tallies of a stratified/importance-sampled run (empty
+    #: for the naive path, keeping legacy results byte-identical).  When
+    #: present, the estimator is the weighted sum of per-stratum means.
+    strata: List[StratumStats] = field(default_factory=list)
     #: Observability sidecar (deterministic counters/histograms recorded
     #: by the trial loop when ``EngineConfig.collect_metrics`` is on).
     #: Excluded from equality so telemetry can never make two otherwise
@@ -130,19 +220,49 @@ class ReliabilityResult:
             sparing=sparing,
             failure_times_hours=sorted(self.failure_times_hours),
             failure_modes=Counter(self.failure_modes),
+            strata=[
+                s.canonical()
+                for s in sorted(self.strata, key=lambda s: s.key)
+            ],
             metrics=self.metrics,
         )
 
     def _merge_compatible(self, other: "ReliabilityResult") -> bool:
         # Exact equality is deliberate: shards of one campaign carry
         # bit-identical metadata, and "close" stratum weights would mean
-        # different plans whose estimates must not be pooled.
+        # different plans whose estimates must not be pooled.  A shard
+        # with strata and one without come from different sampling
+        # plans; shared stratum keys are checked in StratumStats.merge.
         return (
             self.scheme_name == other.scheme_name
             and self.stratum_weight == other.stratum_weight  # reprolint: disable=REPRO003
             and self.lifetime_hours == other.lifetime_hours  # reprolint: disable=REPRO003
             and self.min_faults == other.min_faults
+            and bool(self.strata) == bool(other.strata)
         )
+
+    def _merge_strata(
+        self, other: "ReliabilityResult"
+    ) -> List[StratumStats]:
+        """Key-union of two shards' stratum tallies.
+
+        Shards may carry *different* stratum mixes (e.g. a one-trial
+        trailing shard whose allocation skipped rare strata); disjoint
+        keys pass through, shared keys combine via
+        :meth:`StratumStats.merge` (which rejects weight/bound drift).
+        Sorting by key makes the union associative and order-free.
+        """
+        by_key: Dict[str, StratumStats] = {
+            s.key: s.canonical() for s in self.strata
+        }
+        for stratum in other.strata:
+            existing = by_key.get(stratum.key)
+            by_key[stratum.key] = (
+                existing.merge(stratum)
+                if existing is not None
+                else stratum.canonical()
+            )
+        return [by_key[key] for key in sorted(by_key)]
 
     def merge(self, other: "ReliabilityResult") -> "ReliabilityResult":
         """Combine two shards of the same experiment into one aggregate.
@@ -188,6 +308,7 @@ class ReliabilityResult:
                 self.failure_times_hours + other.failure_times_hours
             ),
             failure_modes=self.failure_modes + other.failure_modes,
+            strata=self._merge_strata(other),
             metrics=metrics,
         )
 
@@ -217,6 +338,10 @@ class ReliabilityResult:
             # which differs between worker counts.
             "failure_modes": dict(sorted(self.failure_modes.items())),
         }
+        if self.strata:
+            # Only present for stratified/importance runs, so legacy
+            # (naive-path) fixtures stay byte-identical.
+            data["strata"] = [s.to_dict() for s in self.strata]
         if self.sparing is not None:
             data["sparing"] = self.sparing.to_dict()
         if self.metrics is not None:
@@ -246,6 +371,9 @@ class ReliabilityResult:
             failure_modes=Counter(
                 {str(k): int(v) for k, v in data["failure_modes"].items()}
             ),
+            strata=[
+                StratumStats.from_dict(s) for s in data.get("strata", [])
+            ],
             metrics=(
                 MetricsRegistry.from_dict(data["metrics"])
                 if data.get("metrics") is not None
@@ -254,25 +382,81 @@ class ReliabilityResult:
         )
 
     # ------------------------------------------------------------------ #
+    def _sorted_strata(self) -> List[StratumStats]:
+        """Strata in key order — the deterministic summation order every
+        estimator below uses, so a merged result's point estimate never
+        depends on shard completion order."""
+        return sorted(self.strata, key=lambda s: s.key)
+
+    @property
+    def weight_ceiling(self) -> float:
+        """Largest value the failure probability could take under the
+        sampling plan (total conditioned mass)."""
+        if self.strata:
+            return math.fsum(s.weight for s in self._sorted_strata())
+        return self.stratum_weight
+
     @property
     def failure_probability(self) -> float:
-        """Unbiased estimate of the per-lifetime system failure probability."""
+        """Unbiased estimate of the per-lifetime system failure probability.
+
+        Stratified/importance runs sum per-stratum weighted failure
+        frequencies ``weight_s * sum(LR_i) / trials_s``; the naive path
+        keeps the single-stratum ``weight * failures / trials`` formula.
+        """
         if not self.trials:
             return float("nan")
+        if self.strata:
+            return math.fsum(
+                s.weight * s.weighted_failures() / s.trials
+                for s in self._sorted_strata()
+                if s.trials
+            )
         return self.stratum_weight * self.failures / self.trials
 
     @property
     def std_error(self) -> float:
         if not self.trials:
             return float("nan")
+        if self.strata:
+            variance = 0.0
+            for s in self._sorted_strata():
+                if not s.trials:
+                    continue
+                mean = s.weight * s.weighted_failures() / s.trials
+                second = s.weight * s.weight * s.second_moment() / s.trials
+                scale = s.weight * s.bound
+                spread = second - mean * mean
+                if spread <= 0.0:
+                    # Degenerate sample (no failures, or every trial
+                    # failed with one identical ratio): fall back to a
+                    # resolution floor instead of claiming certainty.
+                    spread = (scale / s.trials) ** 2
+                variance += spread / s.trials
+            return math.sqrt(variance)
         p_cond = self.failures / self.trials
         return self.stratum_weight * math.sqrt(
             max(p_cond * (1.0 - p_cond), 1.0 / self.trials**2) / self.trials
         )
 
+    def effective_failures(self) -> float:
+        """Effective sample size of the observed failure weights,
+        ``(sum w)^2 / sum w^2`` — how many equally-weighted failures the
+        weighted sample is worth (equals ``failures`` on exact paths)."""
+        weights: List[float] = []
+        if self.strata:
+            for s in self._sorted_strata():
+                weights.extend(sorted(s.failure_weights))
+        else:
+            weights = [1.0] * self.failures
+        total = math.fsum(weights)
+        if total <= 0.0:
+            return 0.0
+        return total * total / math.fsum(w * w for w in weights)
+
     def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
         p, se = self.failure_probability, self.std_error
-        return (max(0.0, p - z * se), min(self.stratum_weight, p + z * se))
+        return (max(0.0, p - z * se), min(self.weight_ceiling, p + z * se))
 
     def improvement_over(self, other: "ReliabilityResult") -> float:
         """How many times more reliable this scheme is than ``other``."""
@@ -289,8 +473,14 @@ class ReliabilityResult:
     def summary(self) -> str:
         p = self.failure_probability
         lo, hi = self.confidence_interval()
-        return (
+        text = (
             f"{self.scheme_name}: P(fail) = {p:.3e} "
             f"[{lo:.3e}, {hi:.3e}] ({self.failures}/{self.trials} trials, "
             f"stratum weight {self.stratum_weight:.3e})"
         )
+        if self.strata:
+            text += (
+                f" [{len(self.strata)} strata, "
+                f"effective failures {self.effective_failures():.1f}]"
+            )
+        return text

@@ -36,6 +36,7 @@ from repro import contracts
 from repro.errors import SpecError
 from repro.reliability.montecarlo import EngineConfig
 from repro.reliability.parallel import DEFAULT_SHARD_SIZE
+from repro.reliability.sampling import SAMPLING_METHODS
 from repro.schemes import SCHEMES
 from repro.stack.geometry import StackGeometry
 
@@ -63,6 +64,8 @@ _SPEC_FIELDS = (
     "shard_size",
     "modes",
     "telemetry",
+    "sampling",
+    "target_ci_width",
     "geometry",
 )
 
@@ -87,6 +90,13 @@ class CampaignSpec:
     modes: bool = False
     #: Attach the deterministic engine metrics snapshot to the result.
     telemetry: bool = False
+    #: Variance-reduction plan (``EngineConfig.sampling``); changing it
+    #: changes the sampled trial stream, so it is part of the content
+    #: address.
+    sampling: str = "naive"
+    #: Anytime-valid CI width at which the campaign stops early (None
+    #: runs every planned trial).
+    target_ci_width: Optional[float] = None
     #: Overrides applied to the baseline :class:`StackGeometry`.
     geometry: Mapping[str, int] = field(default_factory=dict)
 
@@ -118,6 +128,27 @@ class CampaignSpec:
         if not isinstance(self.shard_size, int) or self.shard_size < 1:
             raise SpecError(
                 f"shard_size must be a positive int, got {self.shard_size!r}"
+            )
+        if self.sampling not in SAMPLING_METHODS:
+            raise SpecError(
+                f"unknown sampling method {self.sampling!r}; "
+                f"expected one of {list(SAMPLING_METHODS)}"
+            )
+        if self.target_ci_width is not None:
+            if isinstance(self.target_ci_width, bool) or not isinstance(
+                self.target_ci_width, (int, float)
+            ):
+                raise SpecError(
+                    f"target_ci_width must be a positive number or null, "
+                    f"got {self.target_ci_width!r}"
+                )
+            if not self.target_ci_width > 0:
+                raise SpecError(
+                    f"target_ci_width must be positive, "
+                    f"got {self.target_ci_width!r}"
+                )
+            object.__setattr__(
+                self, "target_ci_width", float(self.target_ci_width)
             )
         for key, value in dict(self.geometry).items():
             if key not in GEOMETRY_FIELDS:
@@ -169,6 +200,8 @@ class CampaignSpec:
             "shard_size": self.shard_size,
             "modes": bool(self.modes),
             "telemetry": bool(self.telemetry),
+            "sampling": self.sampling,
+            "target_ci_width": self.target_ci_width,
             "geometry": dict(self.geometry),
         }
 
@@ -211,6 +244,9 @@ class CampaignSpec:
                     raise SpecError(
                         f"{boolean} must be a boolean, got {kwargs[boolean]!r}"
                     )
+            # sampling / target_ci_width validation (including the typed
+            # rejection of unknown methods) lives in __post_init__ so it
+            # covers direct construction too.
             return cls(**kwargs)
         except SpecError:
             raise
@@ -230,6 +266,8 @@ class CampaignSpec:
             scrub_interval_hours=self.scrub_hours,
             collect_failure_modes=self.modes,
             collect_metrics=self.telemetry,
+            sampling=self.sampling,
+            target_ci_width=self.target_ci_width,
         )
 
 

@@ -263,6 +263,89 @@ class TestEarlyStop:
             EarlyStopPolicy(rel_halfwidth=0.0)
 
 
+class TestStoppingResume:
+    """Anytime-valid stopping x checkpoint/resume (ISSUE 7 satellite).
+
+    A stopped importance-sampled campaign resumed from a checkpoint must
+    reach the *same* stopping decision and produce byte-identical results
+    as an uninterrupted run.  The stop index is a pure function of the
+    contiguous merged prefix, so neither the interrupt point nor the
+    worker count may leak into the outcome.
+    """
+
+    #: Calibrated so the confidence sequence fires at shard 7 of 20 for
+    #: this geometry/rates/seed -- early enough that an interrupt at
+    #: shard 2 lands well before the stop.
+    WIDTH = 0.02
+    TRIALS = 4000
+
+    def make_stopping_runner(self, geometry, **kwargs):
+        kwargs.setdefault("root_seed", 42)
+        kwargs.setdefault("shard_size", SHARD)
+        config = EngineConfig(sampling="importance", target_ci_width=self.WIDTH)
+        return ParallelLifetimeRunner(
+            geometry, RATES, make_1dp(geometry), config, **kwargs
+        )
+
+    def test_stop_fires_mid_campaign(self, geometry):
+        runner = self.make_stopping_runner(geometry, workers=1)
+        result = runner.run(trials=self.TRIALS)
+        report = runner.last_report
+        assert report.stopped_early
+        assert not report.partial
+        assert 0 < result.trials < self.TRIALS
+        assert report.merged_shards < self.TRIALS // SHARD
+
+    def test_resume_reaches_same_stopping_decision(
+        self, geometry, tmp_path, monkeypatch
+    ):
+        uninterrupted_runner = self.make_stopping_runner(geometry, workers=1)
+        uninterrupted = uninterrupted_runner.run(trials=self.TRIALS)
+        assert uninterrupted_runner.last_report.stopped_early
+
+        real_run_shard = parallel_mod._run_shard
+
+        def interrupting(task):
+            if task.spec.index == 2:
+                raise KeyboardInterrupt
+            return real_run_shard(task)
+
+        cp = tmp_path / "cp.json"
+        monkeypatch.setattr(parallel_mod, "_run_shard", interrupting)
+        interrupted = self.make_stopping_runner(
+            geometry, workers=1, checkpoint_path=cp
+        )
+        interrupted.run(trials=self.TRIALS)
+        assert interrupted.last_report.interrupted
+        assert not interrupted.last_report.stopped_early
+
+        monkeypatch.setattr(parallel_mod, "_run_shard", real_run_shard)
+        resumed_runner = self.make_stopping_runner(
+            geometry, workers=1, checkpoint_path=cp, resume=True
+        )
+        resumed = resumed_runner.run(trials=self.TRIALS)
+        report = resumed_runner.last_report
+        assert report.stopped_early
+        assert report.merged_shards == (
+            uninterrupted_runner.last_report.merged_shards
+        )
+        assert json.dumps(resumed.to_dict(), sort_keys=True) == json.dumps(
+            uninterrupted.to_dict(), sort_keys=True
+        )
+
+    def test_stopped_campaign_worker_count_independent(self, geometry):
+        serial = self.make_stopping_runner(geometry, workers=1)
+        pooled = self.make_stopping_runner(geometry, workers=4)
+        a = serial.run(trials=self.TRIALS)
+        b = pooled.run(trials=self.TRIALS)
+        assert serial.last_report.stopped_early
+        assert pooled.last_report.stopped_early
+        assert serial.last_report.merged_shards == pooled.last_report.merged_shards
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+
 class TestValidation:
     def test_bad_worker_count_rejected(self, geometry):
         with pytest.raises(ContractViolation):

@@ -663,6 +663,66 @@ class TestRepro010:
         locked = json.loads((tmp_path / "schema_lock.json").read_text())
         assert "repro.run.Config" in locked["classes"]
 
+    def test_sampling_field_drift_without_bump_fails(self, tmp_path):
+        """ISSUE 7 regression: growing an engine-config dataclass a
+        ``sampling`` knob without bumping CHECKPOINT_VERSION must fail
+        lint against the existing lockfile."""
+        write_tree(tmp_path, {"src/repro/ck.py": _CK_SOURCE})
+        _write_lock(tmp_path)
+        (tmp_path / "src/repro/ck.py").write_text(
+            _CK_SOURCE.replace(
+                "    b: str\n", "    b: str\n    sampling: str\n"
+            )
+        )
+        findings = lint_tree(
+            tmp_path, ["REPRO010"], options=_lock_options(tmp_path)
+        )
+        assert codes_of(findings) == ["REPRO010"]
+        assert "bump CHECKPOINT_VERSION" in findings[0].message
+        assert "sampling: str" in findings[0].message
+
+
+class TestProjectLockfileCurrent:
+    """The checked-in lockfile must reflect the ISSUE 7 schema growth:
+    CHECKPOINT_VERSION 4 plus the sampling/stopping fields."""
+
+    LOCKFILE = (
+        Path(__file__).resolve().parent.parent
+        / "tools"
+        / "reprolint"
+        / "schema_lock.json"
+    )
+
+    def test_lockfile_records_checkpoint_version_4(self):
+        locked = json.loads(self.LOCKFILE.read_text())
+        assert locked["checkpoint_version"] == 4
+
+    def test_lockfile_covers_sampling_schema_surface(self):
+        locked = json.loads(self.LOCKFILE.read_text())
+        classes = locked["classes"]
+        engine = classes["repro.reliability.montecarlo.EngineConfig"]
+        assert any(f.startswith("sampling:") for f in engine)
+        assert any(f.startswith("target_ci_width:") for f in engine)
+        assert "repro.reliability.results.StratumStats" in classes
+        spec = classes["repro.service.jobs.CampaignSpec"]
+        assert any(f.startswith("sampling:") for f in spec)
+
+    def test_checked_in_lockfile_is_in_sync(self):
+        root = self.LOCKFILE.parent.parent.parent
+        rc = reprolint_main(
+            [
+                str(root / "src"),
+                str(root / "tests"),
+                str(root / "benchmarks"),
+                "--root",
+                str(root),
+                "--schema-lockfile",
+                str(self.LOCKFILE),
+                "--check-lockfile",
+            ]
+        )
+        assert rc == 0
+
 
 # ---------------------------------------------------------------------- #
 # Baseline ratchet

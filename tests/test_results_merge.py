@@ -16,7 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import MergeError
-from repro.reliability.results import ReliabilityResult, SparingStats
+from repro.reliability.results import ReliabilityResult, SparingStats, StratumStats
 
 #: Shared shard metadata — merge requires it to match, so strategies fix
 #: it and vary only the per-shard samples.
@@ -188,3 +188,171 @@ class TestSerializedOrderStability:
             "mid",
             "zeta",
         ]
+
+
+# ---------------------------------------------------------------------- #
+# Stratified / importance shards (heterogeneous stratum mixes)
+# ---------------------------------------------------------------------- #
+#: Fixed stratum table shared by every generated shard — merge requires
+#: bitwise weight/bound equality per key, so strategies vary only the
+#: tallies and which subset of strata a shard carries (a tiny trailing
+#: shard's allocation can skip rare strata entirely).
+STRATUM_TABLE = {
+    "n=2": (0.07, 1.0),
+    "n=3": (0.012, 1.0),
+    "n>=4": (0.0017, 1.0),
+    "is:n>=2": (0.09, 2.0),
+}
+
+
+@st.composite
+def stratum_stats(draw, key):
+    weight, bound = STRATUM_TABLE[key]
+    trials = draw(st.integers(min_value=0, max_value=300))
+    failures = draw(st.integers(min_value=0, max_value=min(trials, 20)))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=bound, allow_nan=False),
+            min_size=failures,
+            max_size=failures,
+        )
+    )
+    return StratumStats(
+        key=key,
+        weight=weight,
+        bound=bound,
+        trials=trials,
+        failures=failures,
+        failure_weights=weights,
+    )
+
+
+@st.composite
+def strata_shards(draw):
+    """One stratified shard over a nonempty subset of the stratum table,
+    with consistent top-level tallies (trials/failures sum the strata)."""
+    keys = draw(
+        st.lists(
+            st.sampled_from(sorted(STRATUM_TABLE)),
+            min_size=1,
+            max_size=len(STRATUM_TABLE),
+            unique=True,
+        )
+    )
+    strata = [draw(stratum_stats(key)) for key in keys]
+    failures = sum(s.failures for s in strata)
+    times = draw(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=META["lifetime_hours"],
+                allow_nan=False,
+            ),
+            min_size=failures,
+            max_size=failures,
+        )
+    )
+    return ReliabilityResult(
+        scheme_name=META["scheme_name"],
+        trials=sum(s.trials for s in strata),
+        failures=failures,
+        stratum_weight=1.0,
+        lifetime_hours=META["lifetime_hours"],
+        min_faults=META["min_faults"],
+        failure_times_hours=times,
+        strata=strata,
+    )
+
+
+class TestHeterogeneousStrataMerge:
+    """Satellite of the sampling layer: shards carrying *different*
+    stratum mixes must still form a commutative monoid (key-union merge)
+    and serialize byte-identically whatever order they merged in."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(strata_shards(), strata_shards())
+    def test_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(strata_shards(), strata_shards(), strata_shards())
+    def test_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=40, deadline=None)
+    @given(strata_shards())
+    def test_identity(self, a):
+        e = ReliabilityResult.identity()
+        assert a.merge(e) == a.canonical()
+        assert e.merge(a) == a.canonical()
+
+    @settings(max_examples=40, deadline=None)
+    @given(strata_shards(), strata_shards(), strata_shards())
+    def test_merge_order_serializes_byte_identically(self, a, b, c):
+        left = json.dumps(a.merge(b).merge(c).to_dict(), sort_keys=False)
+        right = json.dumps(c.merge(a.merge(b)).to_dict(), sort_keys=False)
+        mid = json.dumps(b.merge(c).merge(a).to_dict(), sort_keys=False)
+        assert left == right == mid
+
+    @settings(max_examples=60, deadline=None)
+    @given(strata_shards(), strata_shards())
+    def test_stratum_tallies_union_by_key(self, a, b):
+        merged = a.merge(b)
+        by_key = {s.key: s for s in merged.strata}
+        assert list(by_key) == sorted(by_key)
+        for source in (a, b):
+            for s in source.strata:
+                assert s.key in by_key
+        for s in merged.strata:
+            contributions = [
+                t for src in (a, b) for t in src.strata if t.key == s.key
+            ]
+            assert s.trials == sum(t.trials for t in contributions)
+            assert s.failures == sum(t.failures for t in contributions)
+            assert len(s.failure_weights) == s.failures
+
+    @settings(max_examples=40, deadline=None)
+    @given(strata_shards(), strata_shards())
+    def test_estimator_closed_form(self, a, b):
+        merged = a.merge(b)
+        if not merged.trials:
+            return
+        expected = sum(
+            s.weight * sum(s.failure_weights) / s.trials
+            for s in merged.strata
+            if s.trials
+        )
+        assert merged.failure_probability == pytest.approx(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(strata_shards())
+    def test_json_round_trip(self, a):
+        payload = json.loads(json.dumps(a.to_dict()))
+        assert ReliabilityResult.from_dict(payload) == a
+
+    @settings(max_examples=20, deadline=None)
+    @given(strata_shards(), shards())
+    def test_strata_and_naive_shards_do_not_mix(self, a, naive):
+        with pytest.raises(MergeError):
+            a.merge(
+                ReliabilityResult(
+                    scheme_name=META["scheme_name"],
+                    trials=naive.trials,
+                    failures=naive.failures,
+                    stratum_weight=1.0,
+                    lifetime_hours=META["lifetime_hours"],
+                    min_faults=META["min_faults"],
+                )
+            )
+
+    def test_weight_drift_rejected(self):
+        a = StratumStats(key="n=2", weight=0.07, bound=1.0, trials=5)
+        b = StratumStats(key="n=2", weight=0.0700001, bound=1.0, trials=5)
+        with pytest.raises(MergeError):
+            a.merge(b)
+
+    def test_bound_drift_rejected(self):
+        a = StratumStats(key="is:n>=2", weight=0.09, bound=2.0, trials=5)
+        b = StratumStats(key="is:n>=2", weight=0.09, bound=4.0, trials=5)
+        with pytest.raises(MergeError):
+            a.merge(b)

@@ -45,6 +45,12 @@ class TestValidation:
             {"scrub_hours": 0.0},
             {"scrub_hours": -12.0},
             {"shard_size": 0},
+            {"sampling": "nope"},
+            {"sampling": "IMPORTANCE"},
+            {"target_ci_width": 0.0},
+            {"target_ci_width": -0.01},
+            {"target_ci_width": True},
+            {"target_ci_width": "0.01"},
             {"geometry": {"not_a_field": 2}},
             {"geometry": {"data_dies": 0}},
             {"geometry": {"data_dies": 2.5}},
@@ -53,6 +59,12 @@ class TestValidation:
     def test_invalid_values_rejected(self, overrides):
         with pytest.raises(SpecError):
             CampaignSpec(**overrides)
+
+    def test_unknown_sampling_names_the_valid_methods(self):
+        with pytest.raises(SpecError, match="unknown sampling method"):
+            CampaignSpec(sampling="antithetic")
+        with pytest.raises(SpecError, match="stratified"):
+            CampaignSpec.from_dict({"sampling": "antithetic"})
 
     def test_from_dict_rejects_unknown_fields(self):
         with pytest.raises(SpecError, match="unknown spec field"):
@@ -130,12 +142,28 @@ class TestCanonicalization:
             {"tsv_fit": 1.0},
             {"scrub_hours": 24.0},
             {"modes": True},
+            {"sampling": "stratified"},
+            {"sampling": "importance"},
+            {"target_ci_width": 0.01},
             {"geometry": {"data_dies": 4}},
         ],
     )
     def test_outcome_affecting_knobs_change_the_hash(self, overrides):
         base = CampaignSpec(scheme="secded")
         assert clone_spec(base, **overrides).spec_hash() != base.spec_hash()
+
+    def test_sampling_fields_flow_into_engine_config(self):
+        spec = CampaignSpec(sampling="importance", target_ci_width=0.02)
+        config = spec.engine_config()
+        assert config.sampling == "importance"
+        assert config.target_ci_width == 0.02
+
+    def test_target_ci_width_coerced_to_float(self):
+        # An int width is a valid phrasing; the canonical form is float,
+        # so both phrasings share one content address.
+        spec = CampaignSpec(target_ci_width=1)
+        assert isinstance(spec.target_ci_width, float)
+        assert spec.spec_hash() == CampaignSpec(target_ci_width=1.0).spec_hash()
 
     def test_execution_params_are_not_spec_fields(self):
         # Workers/priority/retries live on the Job, not the spec: an
@@ -166,6 +194,14 @@ spec_documents = st.fixed_dictionaries(
         "seed": st.integers(min_value=-(2**31), max_value=2**31),
         "shard_size": st.integers(min_value=1, max_value=10**5),
         "modes": st.booleans(),
+        "sampling": st.sampled_from(["naive", "stratified", "importance"]),
+        "target_ci_width": st.one_of(
+            st.none(),
+            st.floats(
+                min_value=1e-9, max_value=1.0, allow_nan=False,
+                allow_infinity=False,
+            ),
+        ),
         "geometry": geometry_dicts,
     },
 )

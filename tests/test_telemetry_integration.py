@@ -235,3 +235,45 @@ class TestBenchReport:
         merged = first["merged"]["derived"]
         assert merged["trials"] == 100
         assert merged["parity_cache_hit_rate"] == pytest.approx(0.9)
+
+
+class TestSamplingSidecar:
+    """tools/bench_report.py re-checks the importance-sampling
+    trial-reduction sidecar dropped by bench_sampling_speedup."""
+
+    def _sidecar(self, tmp_path, **overrides):
+        from tools.bench_report import check_sampling_sidecar
+
+        payload = {
+            "bench": "sampling_speedup",
+            "trials": 2000,
+            "threshold": 5.0,
+            "trial_reduction": 2500.0,
+            "estimates_consistent": True,
+        }
+        payload.update(overrides)
+        (tmp_path / "bench_sampling_speedup.json").write_text(
+            json.dumps(payload)
+        )
+        return check_sampling_sidecar(tmp_path)
+
+    def test_absent_sidecar_passes(self, tmp_path):
+        from tools.bench_report import check_sampling_sidecar
+
+        assert check_sampling_sidecar(tmp_path) == 0
+
+    def test_healthy_sidecar_passes(self, tmp_path, capsys):
+        assert self._sidecar(tmp_path) == 0
+        capsys.readouterr()
+
+    def test_reduction_below_threshold_fails(self, tmp_path, capsys):
+        assert self._sidecar(tmp_path, trial_reduction=4.9) == 1
+        assert "trial reduction" in capsys.readouterr().err
+
+    def test_inconsistent_estimates_fail(self, tmp_path, capsys):
+        assert self._sidecar(tmp_path, estimates_consistent=False) == 1
+        assert "disagree" in capsys.readouterr().err
+
+    def test_mangled_sidecar_fails(self, tmp_path, capsys):
+        assert self._sidecar(tmp_path, trial_reduction="not-a-number") == 1
+        assert "unreadable" in capsys.readouterr().err

@@ -20,6 +20,10 @@ artifacts (trend tooling stamps them on ingest).
 the BENCH artifact (that would break its determinism); instead this tool
 re-checks the sidecar's measured speedup against its recorded threshold
 and fails the build when the incremental hot path has regressed.
+``bench_sampling_speedup`` drops ``bench_sampling_speedup.json`` the
+same way: its importance-vs-naive trial-reduction factor is re-checked
+against the recorded floor here, so a variance regression in the
+sampler fails the build even if the bench assertion itself is skipped.
 """
 
 from __future__ import annotations
@@ -98,6 +102,40 @@ def check_hotpath_sidecar(results_dir: Path) -> int:
     return 0
 
 
+def check_sampling_sidecar(results_dir: Path) -> int:
+    """Enforce the importance-sampling trial-reduction floor, if the
+    sampling bench ran.
+
+    Returns 0 when the sidecar is absent or the measured reduction meets
+    its recorded threshold with consistent estimates; 1 on regression,
+    estimator disagreement, or a mangled sidecar.
+    """
+    sidecar = results_dir / "bench_sampling_speedup.json"
+    if not sidecar.is_file():
+        return 0
+    try:
+        data = json.loads(sidecar.read_text())
+        reduction = float(data["trial_reduction"])
+        threshold = float(data["threshold"])
+        consistent = bool(data["estimates_consistent"])
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"bench_report: unreadable sampling sidecar {sidecar}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not consistent:
+        print("bench_report: importance and naive estimates disagree "
+              "beyond combined uncertainty", file=sys.stderr)
+        return 1
+    if reduction < threshold:
+        print(f"bench_report: importance sampling trial reduction fell to "
+              f"{reduction:.1f}x (threshold {threshold:.1f}x)",
+              file=sys.stderr)
+        return 1
+    print(f"bench_report: sampling trial reduction {reduction:.1f}x "
+          f"(threshold {threshold:.1f}x)", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results-dir", default=str(_REPO_ROOT / "results"),
@@ -124,7 +162,10 @@ def main(argv=None) -> int:
     write_json_atomic(Path(args.out), report)
     print(f"bench_report: wrote {args.out} "
           f"({len(report['sources'])} source(s))", file=sys.stderr)
-    return check_hotpath_sidecar(Path(args.results_dir))
+    return max(
+        check_hotpath_sidecar(Path(args.results_dir)),
+        check_sampling_sidecar(Path(args.results_dir)),
+    )
 
 
 if __name__ == "__main__":
