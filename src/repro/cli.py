@@ -9,16 +9,21 @@ Commands
 ``perf``
     Simulate one benchmark under the five memory organizations.
 ``stats``
-    Summarize telemetry artifacts (metrics JSON, trace JSONL).
+    Summarize telemetry artifacts (metrics JSON, trace JSONL); with
+    ``--export chrome|collapsed``, convert a trace into a Chrome/
+    Perfetto ``trace_event`` document or collapsed-stack hotspots.
+``profile``
+    Run a small serial campaign under the wall-clock sampling profiler
+    and report deterministic trial-weighted span hotspots.
 ``workloads``
     List the synthetic benchmark profiles.
 ``schemes``
     List the available correction schemes.
 ``serve``
     Run the campaign service (job queue + scheduler + HTTP API).
-``submit`` / ``status`` / ``fetch``
+``submit`` / ``status`` / ``fetch`` / ``top``
     Talk to a running campaign service: enqueue a campaign, inspect
-    jobs/health/metrics, and download results.
+    jobs/health/metrics, download results, and watch a live dashboard.
 
 Output discipline: **stdout carries only results** (summaries, tables,
 ``--json`` documents); every human-facing progress or bookkeeping line
@@ -32,6 +37,7 @@ import argparse
 import json
 import os
 import sys
+import threading
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
@@ -53,7 +59,7 @@ from repro.stack.geometry import StackGeometry
 from repro.stack.striping import StripingPolicy
 from repro.telemetry.console import err, out
 from repro.telemetry.files import write_json_atomic
-from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.registry import MetricsRegistry, monotonic_s
 from repro.telemetry.stats import (
     derived_stats,
     load_metrics_file,
@@ -188,8 +194,56 @@ def build_parser() -> argparse.ArgumentParser:
                             "reliability --json documents also work")
     stats.add_argument("--trace", metavar="FILE", default=None,
                        help="JSONL trace file to summarize")
+    stats.add_argument("--export", choices=("chrome", "collapsed"),
+                       default=None,
+                       help="convert --trace into a Chrome/Perfetto "
+                            "trace_event JSON document or collapsed-stack "
+                            "span hotspots instead of summarizing")
+    stats.add_argument("--export-out", metavar="FILE", default=None,
+                       help="write the --export document to FILE "
+                            "(default: stdout)")
     stats.add_argument("--json", action="store_true",
                        help="emit the summary as JSON on stdout")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a small serial campaign: deterministic span "
+             "hotspots plus an optional wall-clock sampling profiler",
+    )
+    profile.add_argument("--scheme", choices=sorted(SCHEMES),
+                         default="citadel")
+    profile.add_argument("--trials", type=int, default=2000)
+    profile.add_argument("--tsv-fit", type=float, default=0.0)
+    profile.add_argument("--tsv-swap", type=int, default=None, metavar="N")
+    profile.add_argument("--dds", action="store_true")
+    profile.add_argument("--scrub-hours", type=float, default=12.0)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--sampling", choices=list(SAMPLING_METHODS),
+                         default="naive")
+    profile.add_argument("--shard-size", type=int, default=None, metavar="N")
+    profile.add_argument("--trace-sample-every", type=int, default=1,
+                         metavar="N",
+                         help="trace every Nth trial (default 1: all "
+                              "trials, for exact trial-weighted hotspots)")
+    profile.add_argument("--interval", type=float, default=0.005,
+                         metavar="S",
+                         help="sampling-profiler interval (default 5 ms)")
+    profile.add_argument("--no-sampler", action="store_true",
+                         help="skip the wall-clock sampler; deterministic "
+                              "span hotspots only")
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="hotspot lines to print (default 10)")
+    profile.add_argument("--spans-out", metavar="FILE", default=None,
+                         help="write deterministic collapsed span stacks")
+    profile.add_argument("--collapsed-out", metavar="FILE", default=None,
+                         help="write wall-clock collapsed sample stacks "
+                              "(volatile)")
+    profile.add_argument("--chrome-out", metavar="FILE", default=None,
+                         help="write the trace as Chrome trace_event JSON")
+    profile.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="keep the raw JSONL trace at FILE")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the profile report as JSON on stdout")
 
     serve = sub.add_parser(
         "serve", help="run the campaign service (scheduler + HTTP API)"
@@ -282,6 +336,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_client_options(fetch)
     fetch.add_argument("--job", metavar="ID", required=True)
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a running campaign service"
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8765",
+                     help="campaign service endpoint")
+    top.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                     help="per-request timeout seconds")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh interval (default 2s)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="frames to draw (default: until interrupted)")
+    top.add_argument("--once", action="store_true",
+                     help="draw a single frame and exit")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
     return parser
 
 
@@ -548,11 +618,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tracer=tracer,
     ).start()
     server = make_server(scheduler, args.host, args.port, quiet=args.quiet)
-    # Graceful drain on SIGINT *and* SIGTERM.  Re-installing the SIGINT
-    # handler matters when the service runs as a shell background job,
-    # where SIGINT starts out ignored.
+    # Graceful drain on SIGINT *and* SIGTERM: flip /readyz to 503
+    # immediately (so load balancers stop routing here) but KEEP the
+    # HTTP server answering while a background thread drains the
+    # scheduler; only then is the serve loop stopped.  Re-installing
+    # the SIGINT handler matters when the service runs as a shell
+    # background job, where SIGINT starts out ignored.
+    drain_started = threading.Event()
+
+    def _begin_drain() -> None:
+        if drain_started.is_set():
+            return
+        drain_started.set()
+        scheduler.begin_drain()
+        err("campaign service: shutdown requested; draining jobs "
+            "(readiness now 503) ...")
+
+        def _drain() -> None:
+            scheduler.shutdown(drain=True)
+            server.shutdown()
+
+        threading.Thread(target=_drain, name="repro-drain",
+                         daemon=True).start()
+
     def _request_shutdown(signum: int, _frame: Any) -> None:
-        raise KeyboardInterrupt
+        _begin_drain()
     try:
         import signal
         signal.signal(signal.SIGTERM, _request_shutdown)
@@ -567,6 +657,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:
+        # Signal handler not installed (embedded/test use): drain inline.
         err("campaign service: interrupt received, draining jobs ...")
     finally:
         server.server_close()
@@ -623,8 +714,18 @@ def cmd_status(args: argparse.Namespace) -> int:
     client = ServiceClient(args.url, timeout_s=args.timeout)
     if args.job is not None:
         job = client.job(args.job)
+        document = {"job": job}
+        manifest_doc: Optional[Dict[str, Any]] = None
+        if job.get("state") == "done":
+            try:
+                result_doc = client.result_document(args.job)
+                manifest_doc = result_doc["result"].get("manifest")
+            except ReproError:
+                manifest_doc = None  # evicted/raced result: job line only
+        if manifest_doc is not None:
+            document["manifest"] = manifest_doc
         if args.json:
-            out(json.dumps({"job": job}, indent=1, sort_keys=True))
+            out(json.dumps(document, indent=1, sort_keys=True))
         else:
             out(
                 f"job {job['id']} state={job['state']} "
@@ -632,8 +733,14 @@ def cmd_status(args: argparse.Namespace) -> int:
                 f"cache_hit={str(job['cache_hit']).lower()}"
                 + (f" error={job['error']}" if job.get("error") else "")
             )
+            if manifest_doc is not None:
+                from repro.telemetry.manifest import RunManifest
+
+                out("provenance:")
+                for line in RunManifest.from_dict(manifest_doc).describe():
+                    out(f"  {line}")
         return 0
-    document: Dict[str, Any] = {"health": client.healthz()}
+    document = {"health": client.healthz()}
     if args.metrics:
         document["metrics"] = client.metrics()
     if args.json:
@@ -641,6 +748,8 @@ def cmd_status(args: argparse.Namespace) -> int:
         return 0
     health = document["health"]
     out(f"status: {health['status']}")
+    if "ready" in health:
+        out(f"ready: {str(health['ready']).lower()}")
     out(f"queue depth: {health['queue_depth']}")
     out(f"store entries: {health['store_entries']}")
     for state, count in sorted(health["jobs"].items()):
@@ -663,7 +772,41 @@ def cmd_fetch(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+def _export_trace(args: argparse.Namespace) -> int:
+    """``stats --export``: convert a JSONL trace into a downstream
+    format (Chrome ``trace_event`` JSON or collapsed span stacks)."""
+    from repro.telemetry.profile import (
+        collapse_spans,
+        trace_to_chrome,
+        write_collapsed,
+    )
+    from repro.telemetry.tracing import read_trace
+
+    records = read_trace(Path(args.trace))
+    if args.export == "chrome":
+        document = trace_to_chrome(records)
+        if args.export_out is not None:
+            write_json_atomic(Path(args.export_out), document)
+            err(f"chrome trace written to {args.export_out}")
+        else:
+            out(json.dumps(document, indent=1, sort_keys=True))
+        return 0
+    lines = collapse_spans(records)
+    if args.export_out is not None:
+        write_collapsed(lines, Path(args.export_out))
+        err(f"collapsed spans written to {args.export_out}")
+    else:
+        for line in lines:
+            out(line)
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.export is not None:
+        if args.trace is None:
+            err("stats: --export requires --trace")
+            return 2
+        return _export_trace(args)
     if not args.metrics and args.trace is None:
         err("stats: pass --metrics and/or --trace (nothing to summarize)")
         return 2
@@ -717,6 +860,139 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+
+    from repro.telemetry.profile import (
+        SamplingProfiler,
+        collapse_spans,
+        trace_to_chrome,
+        write_collapsed,
+    )
+    from repro.telemetry.tracing import read_trace
+
+    geometry = StackGeometry()
+    rates = FailureRates.paper_baseline(tsv_device_fit=args.tsv_fit)
+    tsv_swap = args.tsv_swap
+    use_dds = args.dds
+    if args.scheme == "citadel":
+        tsv_swap = 4 if tsv_swap is None else tsv_swap
+        use_dds = True
+    model = SCHEMES[args.scheme](geometry)
+    tmpdir: Optional[str] = None
+    if args.trace_out is not None:
+        trace_path = Path(args.trace_out)
+    else:
+        tmpdir = tempfile.mkdtemp(prefix="repro-profile-")
+        trace_path = Path(tmpdir) / "trace.jsonl"
+    try:
+        runner = ParallelLifetimeRunner(
+            geometry,
+            rates,
+            model,
+            EngineConfig(
+                tsv_swap_standby=tsv_swap,
+                use_dds=use_dds,
+                scrub_interval_hours=args.scrub_hours,
+                sampling=args.sampling,
+            ),
+            root_seed=args.seed,
+            workers=1,  # serial: one trace file, one thread to sample
+            shard_size=(
+                args.shard_size if args.shard_size is not None
+                else DEFAULT_SHARD_SIZE
+            ),
+            trace_path=str(trace_path),
+            trace_sample_every=args.trace_sample_every,
+        )
+        profiler = (
+            None if args.no_sampler
+            else SamplingProfiler(interval_s=args.interval)
+        )
+        started = monotonic_s()
+        if profiler is not None:
+            profiler.start()
+        try:
+            result = runner.run(trials=args.trials)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+        wall_s = monotonic_s() - started
+        records = read_trace(trace_path)
+        span_lines = collapse_spans(records)
+        hotspots = []
+        for line in span_lines:
+            stack, count = line.rsplit(" ", 1)
+            hotspots.append((stack, int(count)))
+        hotspots.sort(key=lambda item: (-item[1], item[0]))
+        err(
+            f"campaign: p_fail={result.failure_probability:.3e} "
+            f"({result.trials} trials in {wall_s:.2f}s)"
+        )
+        if profiler is not None:
+            err(
+                f"sampler: {profiler.sample_count} samples at "
+                f"{args.interval * 1000:.1f} ms"
+            )
+        if args.spans_out is not None:
+            write_collapsed(span_lines, Path(args.spans_out))
+            err(f"span stacks written to {args.spans_out}")
+        if args.collapsed_out is not None:
+            if profiler is None:
+                err("profile: --collapsed-out ignored with --no-sampler")
+            else:
+                write_collapsed(profiler.collapsed(), Path(args.collapsed_out))
+                err(f"sample stacks written to {args.collapsed_out}")
+        if args.chrome_out is not None:
+            write_json_atomic(Path(args.chrome_out), trace_to_chrome(records))
+            err(f"chrome trace written to {args.chrome_out}")
+        if args.trace_out is not None:
+            err(f"trace written to {args.trace_out}")
+        if args.json:
+            document: Dict[str, Any] = {
+                "trials": result.trials,
+                "span_hotspots": [
+                    {"stack": stack, "count": count}
+                    for stack, count in hotspots
+                ],
+            }
+            if profiler is not None:
+                # Volatile by nature: sample counts vary run to run.
+                document["sampler"] = {
+                    "samples": profiler.sample_count,
+                    "interval_s": args.interval,
+                }
+            out(json.dumps(document, indent=1, sort_keys=True))
+            return 0
+        out(f"span hotspots (trial-weighted, {result.trials} trials):")
+        for stack, count in hotspots[: args.top]:
+            out(f"  {count:>8}  {stack}")
+        return 0
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+    from repro.telemetry.top import run_top
+
+    client = ServiceClient(args.url, timeout_s=args.timeout)
+    iterations = 1 if args.once else args.iterations
+    clear = not args.no_clear and iterations != 1
+    try:
+        run_top(
+            client,
+            iterations=iterations,
+            interval_s=args.interval,
+            clear=clear,
+        )
+    except KeyboardInterrupt:
+        err("repro top: stopped")
+    return 0
+
+
 COMMANDS = {
     "overhead": cmd_overhead,
     "workloads": cmd_workloads,
@@ -724,10 +1000,12 @@ COMMANDS = {
     "reliability": cmd_reliability,
     "perf": cmd_perf,
     "stats": cmd_stats,
+    "profile": cmd_profile,
     "serve": cmd_serve,
     "submit": cmd_submit,
     "status": cmd_status,
     "fetch": cmd_fetch,
+    "top": cmd_top,
 }
 
 

@@ -81,6 +81,7 @@ from repro.reliability.results import ReliabilityResult
 from repro.reliability.stopping import StoppingRule
 from repro.rng import derive_seed
 from repro.stack.geometry import StackGeometry
+from repro.telemetry.manifest import RunManifest, schemes_registry_hash
 from repro.telemetry.progress import ProgressReporter
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.tracing import TraceWriter
@@ -89,8 +90,9 @@ from repro.telemetry.tracing import TraceWriter
 #: ``incremental_correction`` (the fingerprint embeds ``asdict(config)``,
 #: so older checkpoints cannot be resumed); v4: it grew ``sampling`` /
 #: ``target_ci_width`` and shard results grew per-stratum tallies
-#: (``ReliabilityResult.strata``).
-CHECKPOINT_VERSION = 4
+#: (``ReliabilityResult.strata``); v5: merged results grew the optional
+#: run-provenance ``manifest`` sidecar.
+CHECKPOINT_VERSION = 5
 
 #: Bucket edges (seconds) of the wall-clock shard-latency histogram kept
 #: in ``last_campaign_metrics`` (volatile: never merged into results).
@@ -459,10 +461,29 @@ class ParallelLifetimeRunner:
                 lifetime_hours=self.config.lifetime_hours,
                 min_faults=resolved_min,
             )
+        merged.manifest = self._build_manifest(trials, resolved_label)
         self._record_campaign_outcome(trials, merged, report)
         report.elapsed_seconds = time.monotonic() - started
         self.last_report = report
         return merged
+
+    def _build_manifest(self, trials: int, label: str) -> RunManifest:
+        """Provenance of this campaign: a pure function of the campaign
+        configuration (worker count and wall clock excluded), so merged
+        results stay byte-identical for any worker count."""
+        from repro import __version__
+
+        return RunManifest(
+            scheme=label,
+            seed=self.root_seed,
+            trials=trials,
+            shard_size=self.shard_size,
+            sampling=self.config.sampling,
+            target_ci_width=self.config.target_ci_width,
+            checkpoint_version=CHECKPOINT_VERSION,
+            schemes_hash=schemes_registry_hash(),
+            package_version=__version__,
+        )
 
     def _record_campaign_outcome(
         self,

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import MergeError
+from repro.telemetry.manifest import RunManifest
 from repro.telemetry.registry import MetricsRegistry
 
 
@@ -183,6 +184,11 @@ class ReliabilityResult:
     #: Excluded from equality so telemetry can never make two otherwise
     #: identical results — e.g. a run vs its golden fixture — differ.
     metrics: Optional[MetricsRegistry] = field(default=None, compare=False)
+    #: Run-provenance manifest attached by the parallel runner to the
+    #: *merged* campaign result (shard results never carry one).  Like
+    #: ``metrics`` it is excluded from equality: provenance describes how
+    #: a result was produced, never what it is.
+    manifest: Optional[RunManifest] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------ #
     # Monoid structure (parallel shard merging)
@@ -225,6 +231,7 @@ class ReliabilityResult:
                 for s in sorted(self.strata, key=lambda s: s.key)
             ],
             metrics=self.metrics,
+            manifest=self.manifest,
         )
 
     def _merge_compatible(self, other: "ReliabilityResult") -> bool:
@@ -310,6 +317,14 @@ class ReliabilityResult:
             failure_modes=self.failure_modes + other.failure_modes,
             strata=self._merge_strata(other),
             metrics=metrics,
+            # Provenance survives a merge only when both operands agree
+            # on it (shards carry none, so mid-campaign merges stay
+            # manifest-free; the runner stamps the final aggregate).
+            manifest=(
+                self.manifest
+                if self.manifest == other.manifest
+                else None
+            ),
         )
 
     @classmethod
@@ -348,6 +363,8 @@ class ReliabilityResult:
             # Only present when telemetry was on, so fixtures pinned
             # without telemetry stay byte-identical.
             data["metrics"] = self.metrics.to_dict()
+        if self.manifest is not None:
+            data["manifest"] = self.manifest.to_dict()
         return data
 
     @classmethod
@@ -377,6 +394,11 @@ class ReliabilityResult:
             metrics=(
                 MetricsRegistry.from_dict(data["metrics"])
                 if data.get("metrics") is not None
+                else None
+            ),
+            manifest=(
+                RunManifest.from_dict(data["manifest"])
+                if data.get("manifest") is not None
                 else None
             ),
         )

@@ -150,8 +150,60 @@ class ServiceClient:
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")
 
+    def readyz(self) -> Dict[str, Any]:
+        """The readiness document (``{"ready": ..., "phase": ...}``).
+
+        A 503 means "alive but not ready" (starting up, or draining
+        after SIGTERM) — that is an *answer*, not an error, so the body
+        is returned either way.
+        """
+        url = f"{self.base_url}/readyz"
+        request = urllib.request.Request(url, method="GET")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+        except (urllib.error.URLError, TimeoutError, OSError) as exc:
+            raise ServiceUnavailableError(
+                f"cannot reach campaign service at {self.base_url}: {exc}"
+            ) from exc
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceUnavailableError(
+                f"malformed response from {url}: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise ServiceUnavailableError(
+                f"unexpected response shape from {url}"
+            )
+        return document
+
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/metrics")
+
+    def metrics_openmetrics(self) -> str:
+        """Scrape ``/metrics`` as OpenMetrics text (content-negotiated)."""
+        url = f"{self.base_url}/metrics"
+        request = urllib.request.Request(
+            url,
+            method="GET",
+            headers={"Accept": "application/openmetrics-text"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._decode_error(exc) from exc
+        except (urllib.error.URLError, TimeoutError, OSError) as exc:
+            raise ServiceUnavailableError(
+                f"cannot reach campaign service at {self.base_url}: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------ #
     def wait(

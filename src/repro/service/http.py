@@ -1,6 +1,6 @@
 """Stdlib-only HTTP API over the campaign scheduler.
 
-Endpoints (all JSON):
+Endpoints (all JSON unless negotiated otherwise):
 
 * ``POST /jobs`` — submit ``{"spec": {...}, "priority"?, "workers"?,
   "max_retries"?}``; responds ``202`` with the job document (``200``
@@ -10,9 +10,21 @@ Endpoints (all JSON):
 * ``GET /jobs/{id}/result`` — ``{"job": ..., "result": ...}`` where
   ``result`` is the stored ``ReliabilityResult.to_dict()`` document.
 * ``DELETE /jobs/{id}`` — cooperative cancellation.
-* ``GET /healthz`` — liveness + job-state tally + store size.
-* ``GET /metrics`` — the scheduler's :class:`MetricsRegistry` as JSON
-  (``?format=text`` renders the human table instead).
+* ``GET /healthz`` — *liveness*: 200 as long as the process serves
+  requests, with job-state tally, readiness flag and store size.
+* ``GET /readyz`` — *readiness*: 200 only while the scheduler accepts
+  work; 503 during startup and while draining after SIGTERM (the signal
+  a load balancer uses to stop routing here before the drain finishes).
+* ``GET /metrics`` — the scheduler's :class:`MetricsRegistry`.  Content
+  negotiation: ``Accept: application/openmetrics-text`` (or
+  ``?format=openmetrics``) returns the deterministic OpenMetrics text
+  exposition for Prometheus-compatible scrapers; ``?format=text``
+  renders the human table; the default stays JSON.
+
+Every request is measured into the scheduler's registry: per-endpoint
+``http/requests/*`` / ``http/errors/*`` counters and an
+``http/latency_seconds/*`` histogram — all volatile (wall-clock shaped),
+so scraping the service never perturbs a deterministic artifact.
 
 Error contract: every failure maps a :class:`ReproError` subclass onto
 ``{"error": {"type": <class name>, "message": <one line>}}`` with a
@@ -39,6 +51,11 @@ from repro.errors import (
 from repro.service.jobs import CampaignSpec
 from repro.service.scheduler import CampaignScheduler
 from repro.telemetry.console import err
+from repro.telemetry.exposition import (
+    OPENMETRICS_CONTENT_TYPE,
+    render_openmetrics,
+)
+from repro.telemetry.registry import monotonic_s
 
 #: Error class -> HTTP status code (client reverses this by class name).
 ERROR_STATUS: Dict[type, int] = {
@@ -52,7 +69,26 @@ ERROR_STATUS: Dict[type, int] = {
 #: Largest request body accepted, in bytes (a spec is tiny).
 MAX_BODY_BYTES = 1 << 20
 
+#: Bucket edges (seconds) of the per-endpoint request-latency histograms.
+LATENCY_EDGES = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0)
+
 _JOB_PATH = re.compile(r"^/jobs/(?P<id>[A-Za-z0-9_.-]+)(?P<rest>/result)?$")
+
+
+def endpoint_label(method: str, path: str) -> str:
+    """Bounded-cardinality endpoint name for per-endpoint metrics (job
+    ids collapse onto one label, so the registry cannot grow without
+    bound under adversarial paths)."""
+    if path in ("/healthz", "/readyz", "/metrics"):
+        return path[1:]
+    if path == "/jobs":
+        return "submit" if method == "POST" else "jobs"
+    match = _JOB_PATH.match(path)
+    if match is not None:
+        if match.group("rest") is not None:
+            return "result"
+        return "cancel" if method == "DELETE" else "job"
+    return "other"
 
 
 def error_payload(exc: ReproError) -> Dict[str, Any]:
@@ -106,10 +142,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_text(self, status: int, text: str) -> None:
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
         body = text.encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -129,10 +170,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise SpecError("request body must be a JSON object")
         return document
 
+    def _wants_openmetrics(self) -> bool:
+        accept = self.headers.get("Accept", "")
+        return "application/openmetrics-text" in accept
+
     def _metrics(self) -> None:
         registry = self.server.scheduler.metrics_snapshot()
         query = parse_qs(urlparse(self.path).query)
-        if query.get("format", ["json"])[0] == "text":
+        fmt = query.get("format", [None])[0]
+        if fmt == "openmetrics" or (fmt is None and self._wants_openmetrics()):
+            self._send_text(
+                200,
+                render_openmetrics(registry),
+                content_type=OPENMETRICS_CONTENT_TYPE,
+            )
+        elif fmt == "text":
             self._send_text(200, registry.render() + "\n")
         else:
             self._send_json(200, registry.to_dict())
@@ -148,12 +200,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._dispatch("DELETE")
 
     def _dispatch(self, method: str) -> None:
+        registry = self.server.scheduler.metrics
+        label = endpoint_label(
+            method, urlparse(self.path).path.rstrip("/") or "/"
+        )
+        registry.inc(f"http/requests/{label}", volatile=True)
+        started = monotonic_s()
         try:
             self._route(method)
         except ReproError as exc:
+            registry.inc(f"http/errors/{label}", volatile=True)
             self._send_json(error_status(exc), error_payload(exc))
         except (BrokenPipeError, ConnectionResetError):  # client went away
             pass
+        finally:
+            registry.observe(
+                f"http/latency_seconds/{label}",
+                monotonic_s() - started,
+                edges=LATENCY_EDGES,
+                volatile=True,
+            )
 
     def _route(self, method: str) -> None:
         scheduler = self.server.scheduler
@@ -163,11 +229,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 200,
                 {
                     "status": "ok",
+                    "ready": scheduler.is_ready(),
                     "jobs": scheduler.counts(),
                     "queue_depth": scheduler.queue.depth(),
                     "store_entries": len(scheduler.store),
                 },
             )
+            return
+        if method == "GET" and path == "/readyz":
+            readiness = scheduler.readiness()
+            self._send_json(200 if readiness["ready"] else 503, readiness)
             return
         if method == "GET" and path == "/metrics":
             self._metrics()

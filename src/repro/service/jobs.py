@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -305,6 +306,9 @@ class Job:
     #: Wall-clock seconds the job spent executing (volatile bookkeeping;
     #: never part of the result).
     elapsed_seconds: float = 0.0
+    #: Monotonic creation timestamp feeding the scheduler's
+    #: oldest-job-age gauge (volatile bookkeeping; never serialized).
+    enqueued_at: float = field(default_factory=time.monotonic, repr=False)
     #: Cooperative cancellation flag polled by the runner between shards.
     cancel_event: threading.Event = field(
         default_factory=threading.Event, repr=False

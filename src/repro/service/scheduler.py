@@ -120,6 +120,10 @@ class CampaignScheduler:
         self._running = 0
         self._seq = 0
         self._closed = False
+        #: True from :meth:`begin_drain` (SIGTERM received, finishing
+        #: in-flight work) until the process exits; ``/readyz`` reports
+        #: 503 for the whole window so load balancers stop routing here.
+        self._draining = False
         self._threads: List[threading.Thread] = []
 
     # ------------------------------------------------------------------ #
@@ -140,6 +144,37 @@ class CampaignScheduler:
                 self._threads.append(thread)
         return self
 
+    def begin_drain(self) -> None:
+        """Flip readiness off and stop accepting submissions.
+
+        Queued and running jobs keep executing — this is the SIGTERM
+        half of a graceful shutdown; the follow-up
+        :meth:`shutdown`\\ ``(drain=True)`` joins the pool.  Idempotent.
+        """
+        with self._lock:
+            self._draining = True
+            self._closed = True
+        self._refresh_gauges()
+
+    def is_ready(self) -> bool:
+        """Readiness (the ``/readyz`` predicate): worker threads are up
+        and the scheduler is neither shut down nor draining.  Liveness
+        (``/healthz``) is deliberately weaker — a draining service is
+        still alive and serving reads."""
+        with self._lock:
+            return bool(self._threads) and not self._closed
+
+    def readiness(self) -> Dict[str, Any]:
+        """The ``/readyz`` document: ready flag plus lifecycle phase."""
+        with self._lock:
+            if self._closed:
+                phase = "draining"
+            elif not self._threads:
+                phase = "starting"
+            else:
+                phase = "serving"
+            return {"ready": phase == "serving", "phase": phase}
+
     def shutdown(
         self,
         *,
@@ -147,7 +182,7 @@ class CampaignScheduler:
         cancel_running: bool = False,
         timeout_s: Optional[float] = None,
     ) -> None:
-        """Stop accepting jobs and wind the pool down.
+        """Stop accepting jobs and wind the pool down (idempotent).
 
         ``drain=True`` lets queued and running jobs finish; with
         ``drain=False`` queued jobs are cancelled (running jobs still
@@ -155,6 +190,7 @@ class CampaignScheduler:
         """
         with self._lock:
             self._closed = True
+            self._draining = True
             if not drain:
                 for job_id in list(self._jobs):
                     job = self._jobs[job_id]
@@ -320,9 +356,40 @@ class CampaignScheduler:
         )
         with self._lock:
             running = self._running
+            inflight = len(self._inflight)
+            now = time.monotonic()
+            ages = [
+                now - job.enqueued_at
+                for job in self._jobs.values()
+                if not job.state.terminal
+            ]
         self.metrics.gauge_set(
             "service/running_jobs", float(running), volatile=True
         )
+        self.metrics.gauge_set(
+            "service/inflight_jobs", float(inflight), volatile=True
+        )
+        self.metrics.gauge_set(
+            "service/oldest_job_age_seconds",
+            max(ages) if ages else 0.0,
+            volatile=True,
+        )
+
+    def _fold_campaign_metrics(
+        self, campaign: Optional[MetricsRegistry]
+    ) -> None:
+        """Surface the runner's stopping-layer observability (CI width,
+        effective failures, trials saved) on the service registry so
+        ``/metrics`` and ``repro top`` can see campaign progress."""
+        if campaign is None:
+            return
+        for name in ("campaign/ci_width", "campaign/effective_failures"):
+            value = campaign.gauge(name)
+            if value is not None:
+                self.metrics.gauge_set(name, value, volatile=True)
+        saved = campaign.counter("campaign/trials_saved")
+        if saved:
+            self.metrics.inc("campaign/trials_saved", saved, volatile=True)
 
     def _trace(self, name: str, **attrs: Any) -> None:
         if self.tracer is not None:
@@ -430,6 +497,7 @@ class CampaignScheduler:
             cancel_hook=job.cancel_event.is_set,
         )
         merged = runner.run(trials=spec.effective_trials)
+        self._fold_campaign_metrics(runner.last_campaign_metrics)
         return merged, runner.last_report
 
     def _checkpoint_path(self, job: Job):  # -> Path
@@ -448,6 +516,12 @@ class CampaignScheduler:
             self.store.put(job.spec, result)
             if self._executor is None:
                 self._checkpoint_path(job).unlink(missing_ok=True)
+            # Throughput counter for `repro top` (trials/s is the delta
+            # between polls).  Volatile: it measures service load, not
+            # any campaign's answer.
+            self.metrics.inc(
+                "service/trials_executed", result.trials, volatile=True
+            )
         with self._lock:
             job.state = outcome
             self._running -= 1

@@ -144,6 +144,12 @@ class ResultStore:
             "spec_hash": key,
             "result": result.to_dict(),
         }
+        if result.manifest is not None:
+            # The entry-level manifest copy carries the spec hash; the
+            # result document's manifest deliberately does not, so a
+            # service run stays byte-identical to the equivalent direct
+            # run (whose manifest has no spec to hash).
+            entry["manifest"] = result.manifest.with_spec_hash(key).to_dict()
         with self._lock:
             write_json_atomic(self._path(key), entry)
             self._remember(key, entry)

@@ -19,10 +19,39 @@ ride along with.
 * :mod:`repro.telemetry.console` — ``out()`` / ``err()``: the only
   sanctioned way for instrumented modules to reach stdout/stderr
   (enforced by reprolint rule REPRO007).
+
+The observability plane (PR 8) builds on those four:
+
+* :mod:`repro.telemetry.exposition` — deterministic OpenMetrics text
+  encoding of a registry (plus the strict parser CI validates scrapes
+  with), content-negotiated on the service's ``GET /metrics``.
+* :mod:`repro.telemetry.profile` — wall-clock stack sampling (volatile
+  by construction), the deterministic span-collapse attributor, and the
+  Chrome ``trace_event`` exporter.
+* :mod:`repro.telemetry.manifest` — :class:`RunManifest` run-provenance
+  records attached to merged campaign results and store entries.
+* :mod:`repro.telemetry.top` — the ``repro top`` live dashboard over
+  ``/healthz`` + ``/metrics``.
 """
 
 from repro.telemetry.console import err, out
+from repro.telemetry.exposition import (
+    OPENMETRICS_CONTENT_TYPE,
+    parse_openmetrics,
+    render_openmetrics,
+)
 from repro.telemetry.files import atomic_write_text, write_json_atomic
+from repro.telemetry.manifest import (
+    RunManifest,
+    schemes_registry_hash,
+    volatile_provenance,
+)
+from repro.telemetry.profile import (
+    SamplingProfiler,
+    collapse_spans,
+    trace_to_chrome,
+    write_collapsed,
+)
 from repro.telemetry.progress import ProgressReporter
 from repro.telemetry.registry import (
     Histogram,
@@ -30,6 +59,8 @@ from repro.telemetry.registry import (
     Timer,
     monotonic_s,
 )
+from repro.telemetry.stats import histogram_quantile, histogram_summary
+from repro.telemetry.top import TopSample, render_dashboard, run_top
 from repro.telemetry.tracing import TraceRecord, TraceWriter, read_trace
 
 __all__ = [
@@ -45,4 +76,19 @@ __all__ = [
     "err",
     "atomic_write_text",
     "write_json_atomic",
+    "OPENMETRICS_CONTENT_TYPE",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "RunManifest",
+    "schemes_registry_hash",
+    "volatile_provenance",
+    "SamplingProfiler",
+    "collapse_spans",
+    "trace_to_chrome",
+    "write_collapsed",
+    "histogram_quantile",
+    "histogram_summary",
+    "TopSample",
+    "render_dashboard",
+    "run_top",
 ]

@@ -11,11 +11,12 @@ two front-ends can never drift apart.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.errors import TelemetryError
-from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.registry import Histogram, MetricsRegistry
 from repro.telemetry.tracing import read_trace
 
 
@@ -38,6 +39,47 @@ def load_metrics_file(path: Path) -> MetricsRegistry:
     if nested:
         return MetricsRegistry.from_dict(nested)
     raise TelemetryError(f"{path}: no metrics registry found")
+
+
+def histogram_quantile(hist: Histogram, q: float) -> Optional[float]:
+    """Deterministic quantile estimate from fixed bucket counts.
+
+    Returns the smallest bucket edge whose cumulative count reaches
+    ``ceil(q * count)``, clamped to the observed maximum (so a p99 of a
+    histogram whose every sample landed in the first bucket never
+    overstates beyond ``max``).  Pure bucket arithmetic — two registries
+    with equal bucket counts yield equal quantiles, which is what lets
+    these summaries enter deterministic artifacts.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise TelemetryError(f"quantile must be in [0, 1], got {q!r}")
+    if hist.count == 0:
+        return None
+    rank = max(1, math.ceil(q * hist.count))
+    cumulative = 0
+    for edge, count in zip(hist.edges, hist.counts):
+        cumulative += count
+        if cumulative >= rank:
+            if hist.max_value is not None:
+                return min(edge, hist.max_value)
+            return edge
+    # Rank falls in the overflow bucket (> last edge).
+    return hist.max_value if hist.max_value is not None else hist.edges[-1]
+
+
+def histogram_summary(hist: Histogram) -> Dict[str, Any]:
+    """Deterministic headline summary of one histogram (p50/p90/p99
+    from bucket counts, plus exact count/total/min/max)."""
+    return {
+        "count": hist.count,
+        "total": hist.total,
+        "mean": hist.mean,
+        "min": hist.min_value,
+        "max": hist.max_value,
+        "p50": histogram_quantile(hist, 0.5),
+        "p90": histogram_quantile(hist, 0.9),
+        "p99": histogram_quantile(hist, 0.99),
+    }
 
 
 def derived_stats(registry: MetricsRegistry) -> Dict[str, Any]:
@@ -63,6 +105,13 @@ def derived_stats(registry: MetricsRegistry) -> Dict[str, Any]:
         derived["trials"] = trials
         derived["failures"] = registry.counter("engine/failures")
         derived["faults_sampled"] = registry.counter("engine/faults_sampled")
+    histograms = {}
+    for name in registry.names():
+        hist = registry.histogram(name)
+        if hist is not None and hist.count:
+            histograms[name] = histogram_summary(hist)
+    if histograms:
+        derived["histograms"] = histograms
     return derived
 
 

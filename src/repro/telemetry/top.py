@@ -1,0 +1,167 @@
+"""`repro top`: a live text dashboard over a running campaign service.
+
+Polls ``GET /healthz`` + ``GET /metrics`` (through any client object
+exposing ``healthz()`` and ``metrics()``) and renders one screenful per
+interval: job lifecycle counts, queue depth and in-flight age, trial
+throughput (the delta of the ``service/trials_executed`` counter between
+polls), stopping-rule progress (``campaign/ci_width`` /
+``campaign/effective_failures`` gauges, ``campaign/trials_saved``), and
+per-endpoint HTTP latency quantiles from the ``http/latency_seconds/*``
+histograms.
+
+The dashboard is a pure *reader* of the service's metrics — it holds no
+server-side state and records nothing, so watching a campaign can never
+change it.  The client is duck-typed (rather than importing
+:mod:`repro.service`) to keep the telemetry package free of service
+dependencies; rendering is a pure function of two samples, which is what
+makes the e2e tests able to assert on exact dashboard content.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import IO, Any, Callable, Dict, List, Optional
+
+from repro.telemetry.console import err
+from repro.telemetry.registry import MetricsRegistry, monotonic_s
+from repro.telemetry.stats import histogram_quantile
+
+#: Histogram-name prefix of the per-endpoint HTTP latency metrics.
+LATENCY_PREFIX = "http/latency_seconds/"
+
+#: ANSI sequence used between refreshes on interactive terminals.
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+
+@dataclass
+class TopSample:
+    """One poll of the service: health document + parsed registry."""
+
+    healthz: Dict[str, Any]
+    metrics: MetricsRegistry
+    at: float
+
+    @classmethod
+    def poll(cls, client: Any, clock: Callable[[], float] = monotonic_s
+             ) -> "TopSample":
+        healthz = client.healthz()
+        metrics = MetricsRegistry.from_dict(client.metrics())
+        return cls(healthz=healthz, metrics=metrics, at=clock())
+
+
+def trials_per_second(
+    current: TopSample, previous: Optional[TopSample]
+) -> Optional[float]:
+    """Throughput from the ``service/trials_executed`` counter delta."""
+    if previous is None:
+        return None
+    elapsed = current.at - previous.at
+    if elapsed <= 0:
+        return None
+    delta = current.metrics.counter(
+        "service/trials_executed"
+    ) - previous.metrics.counter("service/trials_executed")
+    return max(0.0, delta / elapsed)
+
+
+def _fmt(value: Optional[float], spec: str = ".3g") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+def render_dashboard(
+    current: TopSample, previous: Optional[TopSample] = None
+) -> str:
+    """One screenful of dashboard text (no trailing newline)."""
+    health = current.healthz
+    registry = current.metrics
+    jobs = health.get("jobs", {})
+    lines: List[str] = []
+    ready = health.get("ready")
+    status = health.get("status", "?")
+    if ready is False:
+        status = f"{status} (NOT READY)"
+    lines.append(f"repro top — service {status}")
+    lines.append(
+        "jobs      "
+        + "  ".join(
+            f"{state}:{jobs.get(state, 0)}"
+            for state in ("queued", "running", "done", "failed", "cancelled")
+        )
+    )
+    oldest = registry.gauge("service/oldest_job_age_seconds")
+    lines.append(
+        f"queue     depth:{health.get('queue_depth', 0)}"
+        f"  inflight:{_fmt(registry.gauge('service/inflight_jobs'), '.0f')}"
+        f"  oldest:{_fmt(oldest, '.1f')}s"
+        f"  store:{health.get('store_entries', 0)}"
+    )
+    rate = trials_per_second(current, previous)
+    lines.append(
+        f"trials    executed:{registry.counter('service/trials_executed')}"
+        f"  rate:{_fmt(rate, '.0f')}/s"
+    )
+    ci_width = registry.gauge("campaign/ci_width")
+    if ci_width is not None:
+        lines.append(
+            f"stopping  ci_width:{_fmt(ci_width, '.3e')}"
+            f"  effective_failures:"
+            f"{_fmt(registry.gauge('campaign/effective_failures'), '.1f')}"
+            f"  trials_saved:{registry.counter('campaign/trials_saved')}"
+        )
+    endpoint_lines = _endpoint_lines(registry)
+    if endpoint_lines:
+        lines.append("endpoint           reqs  errs    p50      p90      p99")
+        lines.extend(endpoint_lines)
+    return "\n".join(lines)
+
+
+def _endpoint_lines(registry: MetricsRegistry) -> List[str]:
+    lines: List[str] = []
+    for name in registry.names():
+        if not name.startswith(LATENCY_PREFIX):
+            continue
+        hist = registry.histogram(name)
+        if hist is None:
+            continue
+        endpoint = name[len(LATENCY_PREFIX):]
+        requests = registry.counter(f"http/requests/{endpoint}")
+        errors = registry.counter(f"http/errors/{endpoint}")
+        lines.append(
+            f"  {endpoint:<15}  {requests:>4}  {errors:>4}"
+            f"  {_fmt(histogram_quantile(hist, 0.5), '.5f')}"
+            f"  {_fmt(histogram_quantile(hist, 0.9), '.5f')}"
+            f"  {_fmt(histogram_quantile(hist, 0.99), '.5f')}"
+        )
+    return lines
+
+
+def run_top(
+    client: Any,
+    *,
+    iterations: Optional[int] = None,
+    interval_s: float = 2.0,
+    stream: Optional[IO[str]] = None,
+    clear: bool = False,
+    clock: Callable[[], float] = monotonic_s,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Poll-and-render loop; returns the number of frames drawn.
+
+    ``iterations=None`` runs until the client raises (service gone) or
+    the user interrupts; tests pass a finite count plus injected
+    ``clock``/``sleep`` so the loop is fully deterministic.
+    """
+    previous: Optional[TopSample] = None
+    frames = 0
+    while iterations is None or frames < iterations:
+        sample = TopSample.poll(client, clock=clock)
+        text = render_dashboard(sample, previous)
+        if clear:
+            text = CLEAR_SCREEN + text
+        err(text, stream=stream)
+        previous = sample
+        frames += 1
+        if iterations is None or frames < iterations:
+            sleep(interval_s)
+    return frames

@@ -124,3 +124,94 @@ class TestJsonOutput:
         assert set(document) == set(SCHEMES)
         assert document["citadel"]["implies_mitigations"] is True
         assert document["secded"]["implies_mitigations"] is False
+
+
+class TestObservabilityCommands:
+    """e2e for the ISSUE 8 CLI surface: `repro profile`, `repro top`
+    (against a live in-process service), and `repro stats --export`."""
+
+    @pytest.fixture
+    def live_service(self, tmp_path):
+        import threading
+
+        from repro.reliability.parallel import CampaignReport
+        from repro.reliability.results import ReliabilityResult
+        from repro.service.http import make_server
+        from repro.service.scheduler import CampaignScheduler
+        from repro.service.store import ResultStore
+
+        def stub_executor(spec, workers, cancel_event):
+            result = ReliabilityResult(
+                scheme_name=spec.scheme,
+                trials=spec.effective_trials,
+                failures=1,
+                lifetime_hours=61320.0,
+            )
+            return result, CampaignReport(planned_shards=1, merged_shards=1)
+
+        store = ResultStore(tmp_path / "store")
+        scheduler = CampaignScheduler(
+            store, slots=1, retry_backoff_s=0.0, executor=stub_executor
+        ).start()
+        server = make_server(scheduler, quiet=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{server.port}"
+        server.shutdown()
+        server.server_close()
+        scheduler.shutdown()
+        thread.join(timeout=10.0)
+
+    def test_profile_reports_span_hotspots(self, capsys, tmp_path):
+        import json
+
+        spans = tmp_path / "spans.folded"
+        chrome = tmp_path / "trace.json"
+        rc = main([
+            "profile", "--scheme", "secded", "--trials", "60",
+            "--seed", "3", "--shard-size", "30", "--no-sampler",
+            "--spans-out", str(spans),
+            "--chrome-out", str(chrome), "--json",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)
+        assert document["trials"] == 60
+        stacks = {h["stack"]: h["count"] for h in document["span_hotspots"]}
+        assert stacks["campaign;shard;trial"] == 60
+        assert "p_fail" in captured.err
+        assert "campaign;shard;trial 60" in spans.read_text()
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_top_once_renders_dashboard(self, capsys, live_service):
+        rc = main(["top", "--url", live_service, "--once"])
+        assert rc == 0
+        err_text = capsys.readouterr().err
+        assert "repro top — service ok" in err_text
+        assert "jobs      queued:0" in err_text
+
+    def test_stats_export_collapsed_and_chrome(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry.tracing import TraceWriter
+
+        trace_path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(trace_path, sample_every=1)
+        with writer.span("campaign"):
+            with writer.span("shard-0"):
+                pass
+        writer.close()
+        assert main([
+            "stats", "--trace", str(trace_path), "--export", "collapsed",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "campaign;shard 1" in out
+        assert main([
+            "stats", "--trace", str(trace_path), "--export", "chrome",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_stats_export_requires_trace(self, capsys):
+        assert main(["stats", "--export", "chrome"]) == 2
+        assert "--trace" in capsys.readouterr().err

@@ -1,0 +1,205 @@
+"""Tests for the OpenMetrics text exposition and its strict parser.
+
+The encoder must be a deterministic pure function of the registry (two
+renders byte-identical, sorted family order, one canonical spelling per
+number), and the parser must reject every malformation CI cares about —
+it is the in-tree replacement for an external OpenMetrics client.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.exposition import (
+    OPENMETRICS_CONTENT_TYPE,
+    format_value,
+    mangle_name,
+    parse_openmetrics,
+    render_openmetrics,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.inc("service/jobs_completed", 3)
+    registry.inc("engine/trials", 500)
+    registry.gauge_set("service/queue_depth", 2.0)
+    registry.gauge_set("campaign/ci_width", 0.0125)
+    for value in (0.002, 0.004, 0.4):
+        registry.observe(
+            "http/latency_seconds/healthz", value, edges=(0.001, 0.01, 0.1)
+        )
+    registry.record_seconds("merge", 1.5)
+    return registry
+
+
+class TestMangleAndFormat:
+    def test_mangle_prefixes_and_replaces(self):
+        assert mangle_name("service/jobs_completed") == (
+            "repro_service_jobs_completed"
+        )
+        assert mangle_name("http/latency_seconds/job") == (
+            "repro_http_latency_seconds_job"
+        )
+
+    def test_format_value_integers_and_integral_floats(self):
+        assert format_value(3) == "3"
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+
+    def test_format_value_specials(self):
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+
+    def test_format_value_rejects_bool(self):
+        with pytest.raises(TelemetryError, match="boolean"):
+            format_value(True)
+
+
+class TestRender:
+    def test_render_is_deterministic(self):
+        registry = sample_registry()
+        assert render_openmetrics(registry) == render_openmetrics(registry)
+
+    def test_render_stable_across_serialization_round_trip(self):
+        registry = sample_registry()
+        rebuilt = MetricsRegistry.from_dict(registry.to_dict())
+        assert render_openmetrics(rebuilt) == render_openmetrics(registry)
+
+    def test_families_sorted_and_typed(self):
+        text = render_openmetrics(sample_registry())
+        type_lines = [l for l in text.splitlines() if l.startswith("# TYPE")]
+        names = [l.split(" ")[2] for l in type_lines]
+        assert names == sorted(names)
+        assert "# TYPE repro_service_jobs_completed counter" in text
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "# TYPE repro_http_latency_seconds_healthz histogram" in text
+        assert "# TYPE repro_merge summary" in text
+
+    def test_counter_sample_carries_total_suffix(self):
+        text = render_openmetrics(sample_registry())
+        assert "repro_service_jobs_completed_total 3" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_openmetrics(sample_registry())
+        assert 'repro_http_latency_seconds_healthz_bucket{le="0.01"} 2' in text
+        assert 'repro_http_latency_seconds_healthz_bucket{le="+Inf"} 3' in text
+        assert "repro_http_latency_seconds_healthz_count 3" in text
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(sample_registry()).endswith("# EOF\n")
+
+    def test_empty_registry_renders_bare_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+    def test_name_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.inc("a/b", 1)
+        registry.inc("a_b", 1)
+        with pytest.raises(TelemetryError, match="collision"):
+            render_openmetrics(registry)
+
+    def test_content_type_constant(self):
+        assert "openmetrics-text" in OPENMETRICS_CONTENT_TYPE
+        assert "version=1.0.0" in OPENMETRICS_CONTENT_TYPE
+
+
+class TestParseRoundTrip:
+    def test_parse_accepts_own_render(self):
+        families = parse_openmetrics(render_openmetrics(sample_registry()))
+        assert families["repro_service_jobs_completed"]["type"] == "counter"
+        assert families["repro_merge"]["type"] == "summary"
+        hist = families["repro_http_latency_seconds_healthz"]
+        assert hist["type"] == "histogram"
+        buckets = [s for s in hist["samples"] if s[0].endswith("_bucket")]
+        assert buckets[-1][1]["le"] == "+Inf"
+
+    def test_round_trip_values(self):
+        families = parse_openmetrics(render_openmetrics(sample_registry()))
+        (name, labels, value), = families["repro_engine_trials"]["samples"]
+        assert name == "repro_engine_trials_total"
+        assert labels == {}
+        assert value == 500
+
+
+class TestParserStrictness:
+    def test_missing_eof(self):
+        with pytest.raises(TelemetryError, match="# EOF"):
+            parse_openmetrics("# TYPE repro_x counter\nrepro_x_total 1\n")
+
+    def test_early_eof(self):
+        with pytest.raises(TelemetryError, match="before end"):
+            parse_openmetrics("# EOF\nrepro_x_total 1\n# EOF\n")
+
+    def test_sample_before_type(self):
+        with pytest.raises(TelemetryError, match="no declared family"):
+            parse_openmetrics("repro_x_total 1\n# EOF\n")
+
+    def test_wrong_suffix_for_type(self):
+        text = "# TYPE repro_x gauge\nrepro_x_total 1\n# EOF\n"
+        with pytest.raises(TelemetryError, match="no declared family"):
+            parse_openmetrics(text)
+
+    def test_duplicate_type_line(self):
+        text = "# TYPE repro_x counter\n# TYPE repro_x counter\n# EOF\n"
+        with pytest.raises(TelemetryError, match="duplicate TYPE"):
+            parse_openmetrics(text)
+
+    def test_unknown_type(self):
+        with pytest.raises(TelemetryError, match="unsupported metric type"):
+            parse_openmetrics("# TYPE repro_x untyped\n# EOF\n")
+
+    def test_invalid_value(self):
+        text = "# TYPE repro_x counter\nrepro_x_total banana\n# EOF\n"
+        with pytest.raises(TelemetryError, match="invalid sample value"):
+            parse_openmetrics(text)
+
+    def test_malformed_label(self):
+        text = (
+            "# TYPE repro_x histogram\n"
+            "repro_x_bucket{le=0.1} 1\n"
+            "# EOF\n"
+        )
+        with pytest.raises(TelemetryError, match="malformed label"):
+            parse_openmetrics(text)
+
+    def test_non_cumulative_buckets(self):
+        text = (
+            "# TYPE repro_x histogram\n"
+            'repro_x_bucket{le="0.1"} 5\n'
+            'repro_x_bucket{le="+Inf"} 3\n'
+            "repro_x_count 3\n"
+            "repro_x_sum 1\n"
+            "# EOF\n"
+        )
+        with pytest.raises(TelemetryError, match="not cumulative"):
+            parse_openmetrics(text)
+
+    def test_histogram_without_inf_bucket(self):
+        text = (
+            "# TYPE repro_x histogram\n"
+            'repro_x_bucket{le="0.1"} 1\n'
+            "repro_x_count 1\n"
+            "repro_x_sum 0.05\n"
+            "# EOF\n"
+        )
+        with pytest.raises(TelemetryError, match=r"\+Inf bucket"):
+            parse_openmetrics(text)
+
+    def test_inf_bucket_disagrees_with_count(self):
+        text = (
+            "# TYPE repro_x histogram\n"
+            'repro_x_bucket{le="+Inf"} 2\n'
+            "repro_x_count 3\n"
+            "repro_x_sum 1\n"
+            "# EOF\n"
+        )
+        with pytest.raises(TelemetryError, match="!= *_count|!= \n?"):
+            parse_openmetrics(text)
+
+    def test_unknown_comment_directive(self):
+        with pytest.raises(TelemetryError, match="unknown comment"):
+            parse_openmetrics("# BOGUS thing\n# EOF\n")

@@ -39,6 +39,52 @@ def assert_matches_golden(results, golden_results):
         )
 
 
+class TestBenchArtifactSchema:
+    """The BENCH perf-trend artifact contract (schema 2): histogram
+    metrics are folded into ``derived.histograms`` with deterministic
+    quantile summaries, alongside the existing counter-derived stats."""
+
+    def build(self, tmp_path):
+        from repro.telemetry.registry import MetricsRegistry
+        from tools.bench_report import ARTIFACT_SCHEMA, build_report
+
+        metrics_dir = tmp_path / "metrics"
+        metrics_dir.mkdir()
+        registry = MetricsRegistry()
+        registry.inc("engine/trials", 50)
+        for value in (0.002, 0.004, 0.02):
+            registry.observe(
+                "engine/shard_seconds", value, edges=(0.001, 0.01, 0.1)
+            )
+        (metrics_dir / "fig14.json").write_text(
+            json.dumps(registry.to_dict())
+        )
+        return ARTIFACT_SCHEMA, build_report(metrics_dir)
+
+    def test_schema_version_is_2(self, tmp_path):
+        schema, report = self.build(tmp_path)
+        assert schema == 2
+        assert report["schema"] == 2
+        assert report["artifact"] == "BENCH"
+
+    def test_histograms_folded_into_derived_sections(self, tmp_path):
+        _, report = self.build(tmp_path)
+        for section in (report["sources"]["fig14"], report["merged"]):
+            summary = section["derived"]["histograms"][
+                "engine/shard_seconds"
+            ]
+            assert summary["count"] == 3
+            assert summary["max"] == 0.02
+            assert set(summary) == {
+                "count", "total", "mean", "min", "max", "p50", "p90", "p99"
+            }
+
+    def test_artifact_is_json_round_trip_stable(self, tmp_path):
+        _, report = self.build(tmp_path)
+        encoded = json.dumps(report, sort_keys=True)
+        assert json.dumps(json.loads(encoded), sort_keys=True) == encoded
+
+
 class TestGoldenFigures:
     def test_fig14_small_matches_golden(self, geometry):
         golden = load("fig14_small.json")

@@ -683,8 +683,8 @@ class TestRepro010:
 
 
 class TestProjectLockfileCurrent:
-    """The checked-in lockfile must reflect the ISSUE 7 schema growth:
-    CHECKPOINT_VERSION 4 plus the sampling/stopping fields."""
+    """The checked-in lockfile must reflect the ISSUE 8 schema growth:
+    CHECKPOINT_VERSION 5 plus the run-provenance manifest surface."""
 
     LOCKFILE = (
         Path(__file__).resolve().parent.parent
@@ -693,9 +693,9 @@ class TestProjectLockfileCurrent:
         / "schema_lock.json"
     )
 
-    def test_lockfile_records_checkpoint_version_4(self):
+    def test_lockfile_records_checkpoint_version_5(self):
         locked = json.loads(self.LOCKFILE.read_text())
-        assert locked["checkpoint_version"] == 4
+        assert locked["checkpoint_version"] == 5
 
     def test_lockfile_covers_sampling_schema_surface(self):
         locked = json.loads(self.LOCKFILE.read_text())
@@ -706,6 +706,15 @@ class TestProjectLockfileCurrent:
         assert "repro.reliability.results.StratumStats" in classes
         spec = classes["repro.service.jobs.CampaignSpec"]
         assert any(f.startswith("sampling:") for f in spec)
+
+    def test_lockfile_covers_manifest_schema_surface(self):
+        locked = json.loads(self.LOCKFILE.read_text())
+        classes = locked["classes"]
+        result = classes["repro.reliability.results.ReliabilityResult"]
+        assert any(f.startswith("manifest:") for f in result)
+        manifest = classes["repro.telemetry.manifest.RunManifest"]
+        assert any(f.startswith("schemes_hash:") for f in manifest)
+        assert any(f.startswith("spec_hash:") for f in manifest)
 
     def test_checked_in_lockfile_is_in_sync(self):
         root = self.LOCKFILE.parent.parent.parent

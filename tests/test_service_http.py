@@ -145,6 +145,92 @@ class TestEndpoints:
         assert "service/jobs_submitted" in text
 
 
+class TestObservabilityEndpoints:
+    """ISSUE 8 surface: liveness/readiness split, OpenMetrics content
+    negotiation, and the per-endpoint HTTP instrumentation."""
+
+    def test_healthz_reports_ready(self, service):
+        client, _, _ = service
+        assert client.healthz()["ready"] is True
+
+    def test_readyz_serving(self, service):
+        client, _, _ = service
+        ready = client.readyz()
+        assert ready["ready"] is True
+        assert ready["phase"] == "serving"
+
+    def test_readyz_503_while_draining_healthz_stays_200(self, service):
+        client, scheduler, _ = service
+        scheduler.begin_drain()
+        ready = client.readyz()
+        assert ready["ready"] is False
+        assert ready["phase"] == "draining"
+        # Liveness is unaffected: the pod is alive, just not accepting.
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["ready"] is False
+
+    def test_openmetrics_via_accept_header(self, service):
+        from repro.telemetry.exposition import parse_openmetrics
+
+        client, _, _ = service
+        job = client.submit(make_spec(seed=6))
+        client.wait(job["id"], timeout_s=WAIT_S)
+        text = client.metrics_openmetrics()
+        assert text.endswith("# EOF\n")
+        families = parse_openmetrics(text)  # strict: raises on any drift
+        assert families["repro_service_jobs_submitted"]["type"] == "counter"
+        samples = families["repro_service_jobs_submitted"]["samples"]
+        assert samples[0][2] == 1
+
+    def test_openmetrics_via_query_format(self, service):
+        import urllib.request
+
+        from repro.telemetry.exposition import (
+            OPENMETRICS_CONTENT_TYPE,
+            parse_openmetrics,
+        )
+
+        client, _, server = service
+        url = f"http://127.0.0.1:{server.port}/metrics?format=openmetrics"
+        with urllib.request.urlopen(url, timeout=WAIT_S) as response:
+            assert response.headers["Content-Type"] == (
+                OPENMETRICS_CONTENT_TYPE
+            )
+            parse_openmetrics(response.read().decode("utf-8"))
+
+    def test_http_requests_and_latency_instrumented(self, service):
+        client, _, _ = service
+        client.healthz()
+        client.healthz()
+        metrics = client.metrics()
+        assert metrics["counters"]["http/requests/healthz"] >= 2
+        hist = metrics["histograms"]["http/latency_seconds/healthz"]
+        assert hist["count"] >= 2
+
+    def test_errors_counted_per_endpoint(self, service):
+        client, _, _ = service
+        with pytest.raises(JobNotFoundError):
+            client.job("nope")
+        metrics = client.metrics()
+        assert metrics["counters"]["http/errors/job"] == 1
+
+    def test_endpoint_label_bounded_cardinality(self):
+        from repro.service.http import endpoint_label
+
+        assert endpoint_label("GET", "/healthz") == "healthz"
+        assert endpoint_label("GET", "/readyz") == "readyz"
+        assert endpoint_label("GET", "/metrics") == "metrics"
+        assert endpoint_label("POST", "/jobs") == "submit"
+        assert endpoint_label("GET", "/jobs") == "jobs"
+        assert endpoint_label("GET", "/jobs/abc123") == "job"
+        assert endpoint_label("DELETE", "/jobs/abc123") == "cancel"
+        assert endpoint_label("GET", "/jobs/abc123/result") == "result"
+        # Adversarial paths collapse onto one label.
+        assert endpoint_label("GET", "/bogus/zzz") == "other"
+        assert endpoint_label("GET", "/bogus/yyy") == "other"
+
+
 class TestErrorContract:
     def test_unknown_job_raises_not_found(self, service):
         client, _, _ = service

@@ -1,0 +1,213 @@
+"""Tests for telemetry summarization: deterministic histogram
+quantiles, derived stats, trace folding, and the progress reporter's
+rate/ETA arithmetic (driven by an injected clock, never wall time).
+"""
+
+import io
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.progress import ProgressReporter
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.stats import (
+    derived_stats,
+    histogram_quantile,
+    histogram_summary,
+    load_metrics_file,
+    summarize_trace,
+)
+from repro.telemetry.tracing import TraceWriter
+
+
+def make_histogram(values, edges=(0.01, 0.1, 1.0)):
+    registry = MetricsRegistry()
+    for value in values:
+        registry.observe("h", value, edges=edges)
+    return registry.histogram("h")
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_none(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("h", (0.01, 0.1))
+        assert histogram_quantile(registry.histogram("h"), 0.5) is None
+
+    def test_quantile_outside_unit_interval_raises(self):
+        hist = make_histogram([0.05])
+        with pytest.raises(TelemetryError, match=r"\[0, 1\]"):
+            histogram_quantile(hist, 1.5)
+        with pytest.raises(TelemetryError, match=r"\[0, 1\]"):
+            histogram_quantile(hist, -0.1)
+
+    def test_rank_rule_picks_smallest_covering_edge(self):
+        # counts per bucket: (<=0.01): 2, (<=0.1): 1, (<=1.0): 1
+        hist = make_histogram([0.005, 0.007, 0.05, 0.5])
+        # p50 -> rank 2 -> first bucket edge 0.01
+        assert histogram_quantile(hist, 0.5) == 0.01
+        # p75 -> rank 3 -> second bucket edge 0.1
+        assert histogram_quantile(hist, 0.75) == 0.1
+        # p100 -> rank 4 -> third bucket, clamped to observed max 0.5
+        assert histogram_quantile(hist, 1.0) == 0.5
+
+    def test_clamped_to_observed_max(self):
+        # Every sample in the first bucket: p99 must not overstate
+        # beyond the maximum actually observed.
+        hist = make_histogram([0.002, 0.003, 0.004])
+        assert histogram_quantile(hist, 0.99) == 0.004
+
+    def test_overflow_bucket_reports_max(self):
+        hist = make_histogram([5.0, 7.0])  # beyond the last edge (1.0)
+        assert histogram_quantile(hist, 0.99) == 7.0
+
+    def test_q_zero_uses_rank_one(self):
+        hist = make_histogram([0.005, 0.5])
+        assert histogram_quantile(hist, 0.0) == 0.01
+
+    def test_pure_function_of_bucket_counts(self):
+        a = make_histogram([0.005, 0.05, 0.5])
+        b = make_histogram([0.006, 0.06, 0.5])  # same buckets, same max
+        assert histogram_quantile(a, 0.9) == histogram_quantile(b, 0.9)
+
+
+class TestHistogramSummary:
+    def test_summary_fields(self):
+        summary = histogram_summary(make_histogram([0.005, 0.05, 0.5]))
+        assert summary["count"] == 3
+        assert summary["total"] == pytest.approx(0.555)
+        assert summary["mean"] == pytest.approx(0.185)
+        assert summary["min"] == 0.005
+        assert summary["max"] == 0.5
+        assert summary["p50"] == 0.1
+        assert summary["p99"] == 0.5
+
+
+class TestDerivedStats:
+    def test_histograms_key_only_for_populated_histograms(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("empty/h", (0.1,))
+        assert "histograms" not in derived_stats(registry)
+        registry.observe("http/latency_seconds/healthz", 0.05,
+                         edges=(0.01, 0.1))
+        derived = derived_stats(registry)
+        assert set(derived["histograms"]) == {
+            "http/latency_seconds/healthz"
+        }
+        assert derived["histograms"]["http/latency_seconds/healthz"][
+            "count"
+        ] == 1
+
+    def test_engine_counters_promoted(self):
+        registry = MetricsRegistry()
+        registry.inc("engine/trials", 100)
+        registry.inc("engine/failures", 7)
+        derived = derived_stats(registry)
+        assert derived["trials"] == 100
+        assert derived["failures"] == 7
+
+    def test_parity_cache_hit_rate(self):
+        registry = MetricsRegistry()
+        registry.inc("perf/parity_lookups", 200)
+        registry.inc("perf/parity_hits", 150)
+        assert derived_stats(registry)["parity_cache_hit_rate"] == 0.75
+
+
+class TestLoadMetricsFile:
+    def test_accepts_bare_registry_document(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("engine/trials", 5)
+        path = tmp_path / "metrics.json"
+        path.write_text(
+            __import__("json").dumps(registry.to_dict())
+        )
+        assert load_metrics_file(path).counter("engine/trials") == 5
+
+    def test_rejects_document_without_registry(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("{}")
+        with pytest.raises(TelemetryError, match="no metrics registry"):
+            load_metrics_file(path)
+
+
+class TestSummarizeTrace:
+    def test_span_and_event_tallies(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(trace_path, sample_every=1)
+        with writer.span("campaign"):
+            for _ in range(3):
+                with writer.span("shard"):
+                    pass
+            writer.event("merge")
+        writer.close()
+        summary = summarize_trace(trace_path)
+        assert summary["spans"]["shard"]["count"] == 3
+        assert summary["spans"]["campaign"]["count"] == 1
+        assert summary["events"]["merge"] == 1
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+class TestProgressReporter:
+    def make_reporter(self, clock, **kwargs):
+        stream = io.StringIO()
+        kwargs.setdefault("min_interval_s", 1.0)
+        reporter = ProgressReporter(
+            40, 100_000, stream=stream, clock=clock, **kwargs
+        )
+        return reporter, stream
+
+    def test_rate_and_eta_math(self):
+        clock = FakeClock()
+        reporter, stream = self.make_reporter(clock)
+        clock.now += 10.0  # 10 s elapsed, 30k trials -> 3000/s
+        assert reporter.update(12, 30_000) is True
+        line = stream.getvalue().strip()
+        assert line == (
+            "[campaign] shards 12/40  trials 30000/100000"
+            "  3000 trials/s  ETA 23s"  # 70000 / 3000 = 23.3 -> 23
+        )
+
+    def test_no_eta_before_first_trial_or_after_done(self):
+        clock = FakeClock()
+        reporter, stream = self.make_reporter(clock)
+        clock.now += 5.0
+        reporter.update(0, 0)
+        assert "ETA" not in stream.getvalue()
+        clock.now += 30.0
+        reporter.update(40, 100_000, force=True)
+        assert "ETA" not in stream.getvalue().splitlines()[-1]
+
+    def test_budget_line_clamped_at_zero(self):
+        clock = FakeClock()
+        reporter, stream = self.make_reporter(clock, time_budget_s=20.0)
+        clock.now += 5.0
+        reporter.update(1, 1000)
+        assert "budget 15s left" in stream.getvalue()
+        clock.now += 30.0  # past the budget
+        reporter.update(2, 2000, force=True)
+        assert "budget 0s left" in stream.getvalue().splitlines()[-1]
+
+    def test_throttling_and_force(self):
+        clock = FakeClock()
+        reporter, stream = self.make_reporter(clock)
+        assert reporter.update(1, 100) is True
+        clock.now += 0.5  # within min_interval_s
+        assert reporter.update(2, 200) is False
+        assert reporter.update(2, 200, force=True) is True
+        clock.now += 1.0
+        assert reporter.update(3, 300) is True
+        assert reporter.lines_emitted == 3
+
+    def test_finish_always_emits(self):
+        clock = FakeClock()
+        reporter, stream = self.make_reporter(clock)
+        reporter.update(1, 100)
+        reporter.finish(40, 100_000)  # immediately after: force path
+        assert reporter.lines_emitted == 2
+        assert "shards 40/40" in stream.getvalue().splitlines()[-1]

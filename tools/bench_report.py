@@ -15,6 +15,13 @@ The document is deterministic: sorted keys, no timestamps, no host
 information — two runs of the same code produce byte-identical
 artifacts (trend tooling stamps them on ingest).
 
+Schema 2 folds histogram metrics into the derived sections: every
+histogram in a source registry contributes bucket counts (via the
+registry snapshot) plus a deterministic quantile summary
+(count/total/mean/min/max/p50/p90/p99) under ``derived.histograms``,
+so latency-shaped distributions are trendable without wall-clock
+values entering the artifact.
+
 ``bench_engine_hotpath`` additionally drops a timing sidecar at
 ``<results-dir>/hotpath_speedup.json``.  Wall-clock numbers never enter
 the BENCH artifact (that would break its determinism); instead this tool
@@ -43,7 +50,9 @@ from repro.telemetry.files import write_json_atomic  # noqa: E402
 from repro.telemetry.registry import MetricsRegistry  # noqa: E402
 from repro.telemetry.stats import derived_stats, load_metrics_file  # noqa: E402
 
-ARTIFACT_SCHEMA = 1
+#: v2: ``derived.histograms`` (per-histogram deterministic quantile
+#: summaries) joined the per-source and merged sections.
+ARTIFACT_SCHEMA = 2
 
 
 def build_report(metrics_dir: Path) -> Dict[str, Any]:

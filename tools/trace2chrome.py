@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Convert a repro JSONL trace into Chrome/Perfetto trace_event JSON.
+
+Usage: PYTHONPATH=src python tools/trace2chrome.py TRACE.jsonl \
+           [--out trace_chrome.json]
+
+The output loads directly into ``chrome://tracing``, Perfetto UI, or
+``speedscope``: spans become ``B``/``E`` duration events, point events
+become instants, all on one synthetic pid/tid.  Conversion is pure —
+the document is a deterministic function of the input trace (the same
+guarantee ``repro stats --export chrome`` gives; this is the standalone
+form for CI pipelines that only have the artifact file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.errors import TelemetryError  # noqa: E402
+from repro.telemetry.files import write_json_atomic  # noqa: E402
+from repro.telemetry.profile import trace_to_chrome  # noqa: E402
+from repro.telemetry.tracing import read_trace  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file (repro --trace-out)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="output path (default: stdout)")
+    args = parser.parse_args(argv)
+
+    trace_path = Path(args.trace)
+    if not trace_path.is_file():
+        print(f"trace2chrome: no trace file at {trace_path}", file=sys.stderr)
+        return 2
+    try:
+        document = trace_to_chrome(read_trace(trace_path))
+    except TelemetryError as exc:
+        print(f"trace2chrome: {exc}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        write_json_atomic(Path(args.out), document)
+        print(f"trace2chrome: wrote {args.out} "
+              f"({len(document['traceEvents'])} events)", file=sys.stderr)
+    else:
+        json.dump(document, sys.stdout, indent=1, sort_keys=True)
+        sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
