@@ -8,6 +8,10 @@ Commands
     Run a Monte-Carlo lifetime study for one scheme.
 ``perf``
     Simulate one benchmark under the five memory organizations.
+``replay``
+    Trace-replay co-simulation: replay a workload while a sampled
+    fault timeline unfolds; one sharded run yields a joint
+    reliability/performance/power report.
 ``stats``
     Summarize telemetry artifacts (metrics JSON, trace JSONL); with
     ``--export chrome|collapsed``, convert a trace into a Chrome/
@@ -54,6 +58,11 @@ from repro.reliability.parallel import (
     ParallelLifetimeRunner,
 )
 from repro.reliability.results import ReliabilityResult
+from repro.replay import (
+    DEFAULT_REPLAY_SHARD_SIZE,
+    ReplayCampaignRunner,
+    ReplayConfig,
+)
 from repro.schemes import SCHEMES
 from repro.stack.geometry import StackGeometry
 from repro.stack.striping import StripingPolicy
@@ -65,7 +74,7 @@ from repro.telemetry.stats import (
     load_metrics_file,
     summarize_trace,
 )
-from repro.workloads import PROFILES, rate_mode_traces
+from repro.workloads import PROFILES, WORKLOADS, rate_mode_traces
 from repro.workloads.generator import DEFAULT_CORES
 
 
@@ -185,6 +194,50 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the run's metrics registry as JSON")
     perf.add_argument("--json", action="store_true",
                       help="emit results as a JSON document on stdout")
+
+    replay = sub.add_parser(
+        "replay",
+        help="trace-replay co-simulation: joint reliability/perf/power",
+    )
+    replay.add_argument("--scheme", choices=sorted(SCHEMES),
+                        default="citadel")
+    replay.add_argument("--workload", choices=sorted(WORKLOADS),
+                        default="zipfian")
+    replay.add_argument("--trials", type=int, default=32,
+                        help="co-simulation trials (each replays the "
+                             "full trace; default 32)")
+    replay.add_argument("--requests", type=int, default=512,
+                        help="requests per core (default 512)")
+    replay.add_argument("--cores", type=int, default=4)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--tsv-fit", type=float, default=0.0,
+                        help="TSV device FIT (paper sweeps 14-1430)")
+    replay.add_argument("--tsv-swap", type=int, default=None, metavar="N",
+                        help="enable TSV-Swap with N stand-by TSVs "
+                             "per channel")
+    replay.add_argument("--dds", action="store_true",
+                        help="enable DDS sparing")
+    replay.add_argument("--scrub-hours", type=float, default=12.0)
+    replay.add_argument("--thermal", action="store_true",
+                        help="feed baseline bank activity back into "
+                             "per-bank FIT multipliers")
+    replay.add_argument("--workers", type=int, default=1,
+                        help="worker processes; results are identical "
+                             "for any value (default 1)")
+    replay.add_argument("--shard-size", type=int, default=None, metavar="N",
+                        help="trials per shard (default %d)"
+                             % DEFAULT_REPLAY_SHARD_SIZE)
+    replay.add_argument("--checkpoint", metavar="FILE", default=None,
+                        help="JSON checkpoint of completed shards")
+    replay.add_argument("--resume", action="store_true",
+                        help="resume from --checkpoint if it exists")
+    replay.add_argument("--telemetry", action="store_true",
+                        help="collect deterministic replay metrics "
+                             "(implied by --metrics-out)")
+    replay.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the merged metrics registry as JSON")
+    replay.add_argument("--json", action="store_true",
+                        help="emit the joint report as JSON on stdout")
 
     stats = sub.add_parser(
         "stats", help="summarize telemetry artifacts from earlier runs"
@@ -388,15 +441,15 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 def cmd_workloads(args: argparse.Namespace) -> int:
     if args.json:
         out(json.dumps(
-            {name: asdict(PROFILES[name]) for name in sorted(PROFILES)},
+            {name: asdict(WORKLOADS[name]) for name in sorted(WORKLOADS)},
             indent=1,
             sort_keys=True,
         ))
         return 0
     out(f"{'benchmark':<12} {'suite':<10} {'MPKI':>6} {'wr%':>5} "
         f"{'locality':>9} {'MLP':>4}")
-    for name in sorted(PROFILES):
-        p = PROFILES[name]
+    for name in sorted(WORKLOADS):
+        p = WORKLOADS[name]
         out(f"{p.name:<12} {p.suite:<10} {p.mpki:>6.1f} "
             f"{p.write_fraction:>5.0%} {p.locality:>9.2f} {p.mlp:>4}")
     return 0
@@ -565,6 +618,98 @@ def cmd_perf(args: argparse.Namespace) -> int:
             f"{row['norm_power']:>10.2f}x "
             f"{row['row_buffer_hit_rate']:>7.1%} {parity}"
         )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    geometry = StackGeometry()
+    rates = FailureRates.paper_baseline(tsv_device_fit=args.tsv_fit)
+    tsv_swap = args.tsv_swap
+    use_dds = args.dds
+    if args.scheme == "citadel":
+        tsv_swap = 4 if tsv_swap is None else tsv_swap
+        use_dds = True
+    collect_metrics = args.telemetry or args.metrics_out is not None
+    model = SCHEMES[args.scheme](geometry)
+    replay_config = ReplayConfig(
+        workload=args.workload,
+        cores=args.cores,
+        requests_per_core=args.requests,
+        thermal=args.thermal,
+    )
+    runner = ReplayCampaignRunner(
+        geometry,
+        rates,
+        model,
+        EngineConfig(
+            tsv_swap_standby=tsv_swap,
+            use_dds=use_dds,
+            scrub_interval_hours=args.scrub_hours,
+        ),
+        replay_config,
+        root_seed=args.seed,
+        workers=args.workers,
+        shard_size=(
+            args.shard_size if args.shard_size is not None
+            else DEFAULT_REPLAY_SHARD_SIZE
+        ),
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        collect_metrics=collect_metrics,
+    )
+    err(
+        f"replay: {args.workload} x {args.trials} trials "
+        f"({args.cores} cores x {args.requests} requests each)"
+    )
+    result = runner.run(trials=args.trials)
+    if args.metrics_out is not None:
+        registry = result.metrics if result.metrics is not None else (
+            MetricsRegistry()
+        )
+        write_json_atomic(Path(args.metrics_out), registry.to_dict())
+        err(f"metrics written to {args.metrics_out}")
+    summary = result.summary()
+    if args.json:
+        out(json.dumps(
+            {
+                "replay": result.to_dict(),
+                "reliability": {
+                    "failure_probability": result.failure_probability,
+                    "failures": result.failures,
+                    "trials": result.trials,
+                    "stratum_weight": result.stratum_weight,
+                    "min_faults": result.min_faults,
+                },
+                "performance": {
+                    "baseline_exec_cycles": result.baseline_exec_cycles,
+                    "mean_slowdown": result.mean_slowdown,
+                    "worst_slowdown": result.worst_slowdown,
+                    "extra_requests": result.extra_requests,
+                    "delay_cycles": result.delay_cycles,
+                },
+                "power": {
+                    "baseline_energy_nj": result.baseline_energy_nj,
+                    "mean_energy_overhead": result.mean_energy_overhead,
+                },
+            },
+            indent=1,
+            sort_keys=True,
+        ))
+        return 0
+    out(f"{summary['label']} on {summary['workload']}: "
+        f"{summary['trials']} trials")
+    out(f"  failure probability   {summary['failure_probability']:.3e}")
+    out(f"  mean slowdown         {summary['mean_slowdown']:.4f}x")
+    out(f"  worst slowdown        {summary['worst_slowdown']:.4f}x")
+    out(f"  mean energy overhead  {summary['mean_energy_overhead']:.4f}x")
+    out(f"  protection traffic    {summary['extra_requests']} requests, "
+        f"{summary['delay_cycles']} stall cycles")
+    if result.event_counts:
+        events = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(result.event_counts.items())
+        )
+        out(f"  timeline events       {events}")
     return 0
 
 
@@ -999,6 +1144,7 @@ COMMANDS = {
     "schemes": cmd_schemes,
     "reliability": cmd_reliability,
     "perf": cmd_perf,
+    "replay": cmd_replay,
     "stats": cmd_stats,
     "profile": cmd_profile,
     "serve": cmd_serve,

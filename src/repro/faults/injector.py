@@ -219,10 +219,19 @@ class FaultInjector:
         )
         return self.rng.randrange(num_dies)
 
+    def _sample_bank(self) -> int:
+        """Bank placement for a die-local fault.
+
+        Uniform here; :class:`ThermalFaultInjector` reweights it by the
+        per-bank thermal multipliers.  The call consumes exactly one
+        ``randrange`` draw either way.
+        """
+        return self.rng.randrange(self.geometry.banks_per_die)
+
     def _sample_dram_fault(self, kind: FaultKind, permanence: Permanence) -> Fault:
         geometry, rng = self.geometry, self.rng
         die = self._sample_die()
-        bank = rng.randrange(geometry.banks_per_die)
+        bank = self._sample_bank()
         if kind is FaultKind.BIT:
             return make_bit_fault(
                 geometry,
@@ -295,3 +304,58 @@ class FaultInjector:
             pick - num_dtsv,
             stuck_value=rng.randrange(2),
         )
+
+
+class ThermalFaultInjector(FaultInjector):
+    """Fault injection with per-bank thermal FIT multipliers.
+
+    The replay engine's thermal proxy maps bank activity to a temperature
+    rise and hence a FIT multiplier per bank *position* (applied to every
+    die — the thermal column above a hot bank spans the stack).  Die-local
+    DRAM rates scale by the mean multiplier; bank placement becomes
+    multiplier-weighted; TSV rates are geometry-wide and stay untouched.
+
+    ``prob_at_least`` reads the scaled total rate, so the importance
+    weight the engine recomputes from this injector is bitwise-identical
+    to the weight attached at sampling time — the engine's weight
+    contract survives the subclassing.
+    """
+
+    def __init__(
+        self,
+        geometry: StackGeometry,
+        rates: FailureRates,
+        rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
+        multipliers: Tuple[float, ...] = (),
+    ) -> None:
+        plan = tuple(float(m) for m in multipliers)
+        if len(plan) != geometry.banks_per_die:
+            raise ConfigurationError(
+                f"need one multiplier per bank position "
+                f"({geometry.banks_per_die}), got {len(plan)}"
+            )
+        if any(m <= 0.0 for m in plan):
+            raise ConfigurationError("thermal multipliers must be positive")
+        self.multipliers = plan
+        self._mean_multiplier = math.fsum(plan) / len(plan)
+        super().__init__(geometry, rates, rng, seed)
+
+    def _build_entries(self) -> List[_RateEntry]:
+        entries = []
+        for entry in super()._build_entries():
+            if entry.kind.is_tsv:
+                entries.append(entry)
+            else:
+                entries.append(
+                    _RateEntry(
+                        entry.kind,
+                        entry.permanence,
+                        entry.rate_per_hour * self._mean_multiplier,
+                    )
+                )
+        return entries
+
+    def _sample_bank(self) -> int:
+        banks = range(self.geometry.banks_per_die)
+        return self.rng.choices(banks, weights=self.multipliers, k=1)[0]

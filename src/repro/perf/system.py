@@ -9,6 +9,12 @@ a parity fetch from (and eventual writeback to) the parity bank.
 
 Outputs: execution time (max over cores), event counters for the power
 model, row-buffer and parity-cache statistics.
+
+A per-request perturbation hook lets the replay co-simulation engine
+(``repro.replay``) inject protection traffic — scrub reads, DDS copy
+traffic, TSV-Swap mux delay, degraded-bank correction latency — into the
+service loop.  With no hook installed the simulation takes exactly the
+pre-hook code path, so aggregate results stay byte-identical.
 """
 
 from __future__ import annotations
@@ -61,6 +67,39 @@ class PerfConfig:
         return f"3DP ({suffix})"
 
 
+@dataclass(frozen=True)
+class Perturbation:
+    """Extra work a reliability event injects around one demand request.
+
+    ``extra_accesses`` are background memory accesses (``(home,
+    is_write)`` pairs — scrub reads, sparing copy traffic) issued at the
+    request's arrival cycle; they occupy banks and buses, so later
+    demand requests observe the contention.  ``delay_cycles`` stalls the
+    request itself before service (remap indirection, TSV-Swap mux,
+    erasure-correction latency).
+    """
+
+    delay_cycles: int = 0
+    extra_accesses: Tuple[Tuple[LineLocation, bool], ...] = ()
+
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.delay_cycles, "delay_cycles")
+
+
+class RequestHook:
+    """Interface consulted once per demand request, in service order.
+
+    ``index`` is the global 0-based ordinal of the request across all
+    cores (heap pop order, which is deterministic).  Return ``None`` for
+    "no perturbation" — the common case — or a :class:`Perturbation`.
+    """
+
+    def on_request(
+        self, index: int, request, now: int
+    ) -> Optional[Perturbation]:
+        raise NotImplementedError
+
+
 @dataclass
 class PerfResult:
     """Measurements from one simulation run."""
@@ -78,6 +117,13 @@ class PerfResult:
     row_hits: int = 0
     row_misses: int = 0
     core_finish_cycles: List[int] = field(default_factory=list)
+    #: Hook-injected work (zero unless a :class:`RequestHook` ran).
+    extra_reads: int = 0
+    extra_writes: int = 0
+    perturb_delay_cycles: int = 0
+    #: Per-channel, per-bank activation counts (activity for the replay
+    #: power/thermal models); indexed ``[channel][bank]``.
+    bank_activations: List[List[int]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         contracts.check_non_negative(self.exec_cycles, "exec_cycles")
@@ -108,10 +154,14 @@ class SystemSimulator:
         config: PerfConfig,
         timings: DRAMTimings = DRAMTimings(),
         metrics: Optional[MetricsRegistry] = None,
+        hook: Optional[RequestHook] = None,
     ) -> None:
         self.geometry = geometry
         self.config = config
         self.timings = timings
+        #: Per-request perturbation source (replay co-simulation); when
+        #: ``None`` the service loop is exactly the unhooked code path.
+        self.hook = hook
         #: Observability hook: after every :meth:`run`, the run's event
         #: counters (``perf/``) and LLC statistics (``llc/``) are added
         #: to this registry.  Purely a mirror of :class:`PerfResult` —
@@ -147,11 +197,25 @@ class SystemSimulator:
                 clocks[cid] = trace.requests[0].gap_cycles
                 heapq.heappush(heap, (clocks[cid], cid))
 
+        served = 0
         while heap:
             now, cid = heapq.heappop(heap)
             trace = traces[cid]
             request = trace.requests[positions[cid]]
-            completion = self._serve(request, now, channels, llc, result)
+            issue = now
+            if self.hook is not None:
+                effect = self.hook.on_request(served, request, now)
+                if effect is not None:
+                    for home, is_write in effect.extra_accesses:
+                        self._memory_access(home, now, is_write, channels, result)
+                        if is_write:
+                            result.extra_writes += 1
+                        else:
+                            result.extra_reads += 1
+                    issue = now + effect.delay_cycles
+                    result.perturb_delay_cycles += effect.delay_cycles
+            served += 1
+            completion = self._serve(request, issue, channels, llc, result)
             finish[cid] = max(finish[cid], completion)
             # Writebacks also hold a window slot: evictions are produced by
             # the same miss stream, so a stalled core stops emitting them
@@ -174,6 +238,9 @@ class SystemSimulator:
         result.core_finish_cycles = finish
         result.exec_cycles = max(finish) if finish else 0
         for channel in channels:
+            result.bank_activations.append(
+                [bank.activations for bank in channel.banks]
+            )
             for bank in channel.banks:
                 result.counters.activations += bank.activations
                 result.row_hits += bank.row_hits
@@ -197,6 +264,12 @@ class SystemSimulator:
         registry.inc("perf/row_hits", result.row_hits)
         registry.inc("perf/row_misses", result.row_misses)
         registry.gauge_set("perf/exec_cycles", float(result.exec_cycles))
+        if result.extra_reads or result.extra_writes or result.perturb_delay_cycles:
+            # Only present for hooked (replay) runs, so unhooked metric
+            # snapshots stay byte-identical to pre-hook output.
+            registry.inc("perf/extra_reads", result.extra_reads)
+            registry.inc("perf/extra_writes", result.extra_writes)
+            registry.inc("perf/perturb_delay_cycles", result.perturb_delay_cycles)
 
     # ------------------------------------------------------------------ #
     def _serve(

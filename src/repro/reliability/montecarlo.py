@@ -34,7 +34,7 @@ from repro import contracts
 from repro.core.dds import DDSController
 from repro.core.tsv_swap import apply_tsv_swap
 from repro.ecc.base import CorrectionModel
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, ThermalFaultInjector
 from repro.faults.rates import FailureRates
 from repro.faults.types import Fault
 from repro.reliability.results import (
@@ -101,6 +101,12 @@ class EngineConfig:
     #: sequence over the failure probability is narrower than this
     #: (consulted by ``ParallelLifetimeRunner`` at shard merge points).
     target_ci_width: Optional[float] = None
+    #: Per-bank-position thermal FIT multipliers from the replay engine's
+    #: activity-weighted thermal proxy (one per bank of a die, applied to
+    #: every die).  ``None`` — the default — keeps the uniform
+    #: :class:`FaultInjector` and byte-identical results; a tuple routes
+    #: injection through :class:`ThermalFaultInjector`.
+    thermal_bank_fit: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         contracts.check_non_negative(self.tsv_swap_standby, "tsv_swap_standby")
@@ -127,6 +133,17 @@ class EngineConfig:
             "target_ci_width must be positive or None, got %r",
             self.target_ci_width,
         )
+        if self.thermal_bank_fit is not None:
+            self.thermal_bank_fit = tuple(
+                float(m) for m in self.thermal_bank_fit
+            )
+            contracts.require(
+                len(self.thermal_bank_fit) > 0
+                and all(m > 0.0 for m in self.thermal_bank_fit),
+                "thermal_bank_fit must be a non-empty tuple of positive "
+                "multipliers, got %r",
+                self.thermal_bank_fit,
+            )
 
 
 class LifetimeSimulator:
@@ -147,7 +164,13 @@ class LifetimeSimulator:
         self.model = model
         self.config = config if config is not None else EngineConfig()
         self.rng = make_rng(rng, seed)
-        self.injector = FaultInjector(geometry, rates, self.rng)
+        if self.config.thermal_bank_fit is not None:
+            self.injector: FaultInjector = ThermalFaultInjector(
+                geometry, rates, self.rng,
+                multipliers=self.config.thermal_bank_fit,
+            )
+        else:
+            self.injector = FaultInjector(geometry, rates, self.rng)
         #: Optional structured-trace sink: sampled trials become ``trial``
         #: spans with one ``correction`` event per fault arrival.  Tracing
         #: never feeds back into the simulation.
@@ -281,12 +304,26 @@ class LifetimeSimulator:
         )
         return self._simulate(faults, stats, metrics, tracer), weight
 
+    def simulate_history(self, faults: List[Fault], recorder=None):
+        """Run one sampled fault history through the mitigation stack.
+
+        Public entry point for the replay co-simulation engine
+        (:mod:`repro.replay`): ``recorder`` — duck-typed to
+        ``repro.replay.timeline.TimelineRecorder`` — observes fault
+        arrivals, TSV-Swap absorptions, scrub passes, DDS remaps and the
+        failure, without feeding back into the simulation.  Returns
+        ``(failure time, failure mode) or None`` exactly like the
+        internal trial path.
+        """
+        return self._simulate(faults, None, None, None, recorder)
+
     def _simulate(
         self,
         faults: List[Fault],
         stats: Optional[SparingStats],
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[TraceWriter] = None,
+        recorder=None,
     ) -> Optional[Tuple[float, Optional[str]]]:
         """Simulate one sampled fault history through the mitigation stack;
         returns (failure time, failure mode) or None.  Shared by the naive
@@ -301,9 +338,15 @@ class LifetimeSimulator:
                 edges=FAULTS_PER_TRIAL_EDGES,
             )
         if config.tsv_swap_standby is not None:
+            arrivals = faults
             faults, _ = apply_tsv_swap(
                 faults, self.geometry, config.tsv_swap_standby, metrics=metrics
             )
+            if recorder is not None:
+                visible = {f.uid for f in faults}
+                for fault in arrivals:
+                    if fault.kind.is_tsv and fault.uid not in visible:
+                        recorder.tsv_swap(fault)
         dds = (
             DDSController(
                 self.geometry,
@@ -333,13 +376,21 @@ class LifetimeSimulator:
             )
             if due_epoch > scrub_epoch:
                 # Scrubbing with no intervening fault is idempotent, so the
-                # scrub passes between two events collapse into one.
-                live = self._scrub(live, dds)
+                # scrub passes between two events collapse into one.  The
+                # collapsed pass acts at the first pending boundary —
+                # where the drops and remaps actually occur.
+                live = self._scrub(
+                    live, dds,
+                    at_hours=(scrub_epoch + 1) * interval,
+                    recorder=recorder,
+                )
                 if incremental:
                     model.rebuild(live)
                 if metrics is not None:
                     metrics.inc("engine/scrub_passes")
                 scrub_epoch = due_epoch
+            if recorder is not None:
+                recorder.fault(fault)
             live.append(fault)
             if incremental:
                 uncorrectable = model.observe(fault)
@@ -362,6 +413,8 @@ class LifetimeSimulator:
                     else None
                 )
                 outcome = (fault.time_hours, mode)
+                if recorder is not None:
+                    recorder.failure(fault.time_hours)
                 break
         if stats is not None:
             self._collect_sparing_stats(faults, stats)
@@ -525,13 +578,24 @@ class LifetimeSimulator:
         return "+".join(sorted(f.kind.value for f in live))
 
     def _scrub(
-        self, live: Sequence[Fault], dds: Optional[DDSController]
+        self,
+        live: Sequence[Fault],
+        dds: Optional[DDSController],
+        at_hours: float = 0.0,
+        recorder=None,
     ) -> List[Fault]:
         """Scrub pass: drop transients, spare permanents via DDS."""
         permanent = [f for f in live if f.is_permanent]
+        if recorder is not None:
+            recorder.scrub(at_hours, len(live) - len(permanent))
         if dds is None:
             return permanent
-        still_live, _ = dds.process_scrub(permanent)
+        still_live, report = dds.process_scrub(permanent)
+        if recorder is not None:
+            for fault in report.row_spared:
+                recorder.dds_remap(at_hours, fault, "row")
+            for fault in report.bank_spared:
+                recorder.dds_remap(at_hours, fault, "bank")
         return still_live
 
     # ------------------------------------------------------------------ #

@@ -91,8 +91,9 @@ from repro.telemetry.tracing import TraceWriter
 #: so older checkpoints cannot be resumed); v4: it grew ``sampling`` /
 #: ``target_ci_width`` and shard results grew per-stratum tallies
 #: (``ReliabilityResult.strata``); v5: merged results grew the optional
-#: run-provenance ``manifest`` sidecar.
-CHECKPOINT_VERSION = 5
+#: run-provenance ``manifest`` sidecar; v6: ``EngineConfig`` grew
+#: ``thermal_bank_fit`` (the replay engine's thermal-FIT feedback).
+CHECKPOINT_VERSION = 6
 
 #: Bucket edges (seconds) of the wall-clock shard-latency histogram kept
 #: in ``last_campaign_metrics`` (volatile: never merged into results).
@@ -749,6 +750,13 @@ class ParallelLifetimeRunner:
     ) -> Dict[str, Any]:
         """Identity of the shard plan; a checkpoint from a different plan
         must never be silently merged into this campaign."""
+        engine_config = asdict(self.config)
+        if engine_config.get("thermal_bank_fit") is not None:
+            # JSON round-trips tuples as lists; normalize so a saved
+            # fingerprint compares equal to a freshly computed one.
+            engine_config["thermal_bank_fit"] = list(
+                engine_config["thermal_bank_fit"]
+            )
         return {
             "version": CHECKPOINT_VERSION,
             "root_seed": self.root_seed,
@@ -757,7 +765,7 @@ class ParallelLifetimeRunner:
             "min_faults": min_faults,
             "label": label,
             "model": self.model.name,
-            "engine_config": asdict(self.config),
+            "engine_config": engine_config,
             "rates_tsv_fit": self.rates.tsv_device_fit,
         }
 

@@ -1,0 +1,159 @@
+"""Fault-timeline export: the reliability half of the co-simulation.
+
+One replay trial samples a lifetime fault history, runs it through the
+mitigation stack (:meth:`LifetimeSimulator.simulate_history`) with a
+:class:`TimelineRecorder` attached, and hands the resulting
+:class:`FaultTimeline` to the perturbation layer
+(:mod:`repro.replay.perturb`), which maps each event onto a request
+ordinal of the trace being replayed.
+
+The recorder observes — it never feeds back into the reliability
+simulation, so the failure verdict of a recorded trial is identical to
+the unrecorded one.  Events carry only value-typed data (times, kinds,
+sorted die/bank tuples); in particular ``Fault.uid`` — a process-local
+counter — never enters a timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro import contracts
+from repro.faults.types import Fault
+from repro.reliability.montecarlo import EngineConfig, LifetimeSimulator
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One observed reliability event, in simulation order.
+
+    ``seq`` is the recorder's append index: events sort stably by
+    ``(time_hours, seq)`` even when several share a timestamp (a scrub
+    pass and the remaps it performs, for example).
+    """
+
+    seq: int
+    time_hours: float
+    kind: str                     # fault | tsv_swap | scrub | dds_remap | failure
+    fault_kind: str = ""          # e.g. "row", "data_tsv"; "" for scrub/failure
+    channel: int = -1             # TSV faults only; -1 otherwise
+    dies: Tuple[int, ...] = ()
+    banks: Tuple[int, ...] = ()
+    detail: str = ""              # dds_remap granularity: "row" | "bank"
+    dropped: int = 0              # scrub: transients removed by the pass
+
+    def __post_init__(self) -> None:
+        contracts.check_non_negative(self.seq, "seq")
+        contracts.require(
+            self.channel >= -1,
+            "channel must be >= -1 (-1 = no channel), got %r",
+            self.channel,
+        )
+        contracts.check_non_negative(self.dropped, "dropped")
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """The reliability history one replay trial unfolds against."""
+
+    lifetime_hours: float
+    events: Tuple[TimelineEvent, ...]
+    weight: float                 # stratum weight of the sampled history
+    num_faults: int               # sampled arrivals (pre TSV-Swap)
+    failed: bool
+    failure_time_hours: Optional[float]
+
+
+@dataclass
+class TimelineRecorder:
+    """Collects mitigation-stack events from ``simulate_history``."""
+
+    lifetime_hours: float
+    _events: List[TimelineEvent] = field(default_factory=list)
+    _failure_time: Optional[float] = None
+    _num_faults: int = 0
+
+    # Recorder protocol (duck-typed from the reliability engine) ------- #
+    def fault(self, fault: Fault) -> None:
+        self._num_faults += 1
+        self._append(
+            fault.time_hours,
+            "fault",
+            fault_kind=fault.kind.value,
+            channel=fault.channel if fault.channel is not None else -1,
+            dies=tuple(sorted(fault.footprint.dies)),
+            banks=tuple(sorted(fault.footprint.banks)),
+            detail="permanent" if fault.is_permanent else "transient",
+        )
+
+    def tsv_swap(self, fault: Fault) -> None:
+        # A TSV fault absorbed by a standby TSV: counted as an arrival
+        # (it consumed a sampled fault) but invisible to correction.
+        self._num_faults += 1
+        self._append(
+            fault.time_hours,
+            "tsv_swap",
+            fault_kind=fault.kind.value,
+            channel=fault.channel if fault.channel is not None else -1,
+        )
+
+    def scrub(self, at_hours: float, dropped: int) -> None:
+        self._append(at_hours, "scrub", dropped=dropped)
+
+    def dds_remap(self, at_hours: float, fault: Fault, granularity: str) -> None:
+        self._append(
+            at_hours,
+            "dds_remap",
+            fault_kind=fault.kind.value,
+            dies=tuple(sorted(fault.footprint.dies)),
+            banks=tuple(sorted(fault.footprint.banks)),
+            detail=granularity,
+        )
+
+    def failure(self, at_hours: float) -> None:
+        self._failure_time = at_hours
+        self._append(at_hours, "failure")
+
+    # ------------------------------------------------------------------ #
+    def _append(self, time_hours: float, kind: str, **extra) -> None:
+        self._events.append(
+            TimelineEvent(
+                seq=len(self._events), time_hours=time_hours, kind=kind,
+                **extra,
+            )
+        )
+
+    def timeline(self, weight: float) -> FaultTimeline:
+        events = tuple(
+            sorted(self._events, key=lambda e: (e.time_hours, e.seq))
+        )
+        return FaultTimeline(
+            lifetime_hours=self.lifetime_hours,
+            events=events,
+            weight=weight,
+            num_faults=self._num_faults,
+            failed=self._failure_time is not None,
+            failure_time_hours=self._failure_time,
+        )
+
+
+def build_timeline(
+    simulator: LifetimeSimulator,
+    min_faults: int,
+) -> FaultTimeline:
+    """Sample one lifetime and export its mitigation-event timeline.
+
+    Consumes the simulator's RNG exactly like one engine trial: the
+    fault history comes from :meth:`FaultInjector.sample_lifetime` with
+    the same ``min_faults`` conditioning, so the stratum ``weight``
+    carried by the timeline makes replay reliability estimates agree
+    with ``repro reliability`` semantics.
+    """
+    config: EngineConfig = simulator.config
+    faults, weight = simulator.injector.sample_lifetime(
+        config.lifetime_hours, min_faults=min_faults
+    )
+    recorder = TimelineRecorder(lifetime_hours=config.lifetime_hours)
+    simulator.simulate_history(faults, recorder=recorder)
+    return recorder.timeline(weight)

@@ -38,8 +38,10 @@ from repro.errors import SpecError
 from repro.reliability.montecarlo import EngineConfig
 from repro.reliability.parallel import DEFAULT_SHARD_SIZE
 from repro.reliability.sampling import SAMPLING_METHODS
+from repro.replay import ReplayConfig
 from repro.schemes import SCHEMES
 from repro.stack.geometry import StackGeometry
+from repro.workloads.profiles import WORKLOADS
 
 SPEC_SCHEMA_VERSION = 1
 
@@ -68,7 +70,15 @@ _SPEC_FIELDS = (
     "sampling",
     "target_ci_width",
     "geometry",
+    "mode",
+    "workload",
+    "requests",
+    "replay_cores",
+    "thermal",
 )
+
+#: Campaign kinds a spec may describe.
+SPEC_MODES = ("reliability", "replay")
 
 
 @dataclass(frozen=True)
@@ -100,8 +110,50 @@ class CampaignSpec:
     target_ci_width: Optional[float] = None
     #: Overrides applied to the baseline :class:`StackGeometry`.
     geometry: Mapping[str, int] = field(default_factory=dict)
+    #: Campaign kind: ``"reliability"`` (the default Monte-Carlo
+    #: lifetime study) or ``"replay"`` (trace-replay co-simulation).
+    #: The replay-only fields below are canonicalized back to their
+    #: defaults for reliability specs, so every pre-existing
+    #: reliability spec hash is unchanged by their addition.
+    mode: str = "reliability"
+    workload: str = "zipfian"
+    requests: int = 512
+    replay_cores: int = 4
+    thermal: bool = False
 
     def __post_init__(self) -> None:
+        if self.mode not in SPEC_MODES:
+            raise SpecError(
+                f"unknown mode {self.mode!r}; expected one of "
+                f"{list(SPEC_MODES)}"
+            )
+        if self.mode == "replay":
+            if self.workload not in WORKLOADS:
+                raise SpecError(
+                    f"unknown workload {self.workload!r}; "
+                    f"expected one of {sorted(WORKLOADS)}"
+                )
+            if not isinstance(self.requests, int) or self.requests < 1:
+                raise SpecError(
+                    f"requests must be a positive int, got {self.requests!r}"
+                )
+            if not isinstance(self.replay_cores, int) or self.replay_cores < 1:
+                raise SpecError(
+                    f"replay_cores must be a positive int, "
+                    f"got {self.replay_cores!r}"
+                )
+            if not isinstance(self.thermal, bool):
+                raise SpecError(
+                    f"thermal must be a boolean, got {self.thermal!r}"
+                )
+        else:
+            # Replay-only knobs are meaningless for reliability
+            # campaigns; pin them to the defaults so they can never
+            # perturb a reliability spec's content address.
+            object.__setattr__(self, "workload", "zipfian")
+            object.__setattr__(self, "requests", 512)
+            object.__setattr__(self, "replay_cores", 4)
+            object.__setattr__(self, "thermal", False)
         if self.scheme not in SCHEMES:
             raise SpecError(
                 f"unknown scheme {self.scheme!r}; "
@@ -187,8 +239,14 @@ class CampaignSpec:
         return max(1, self.trials // self.scale)
 
     def canonical_dict(self) -> Dict[str, Any]:
-        """The canonical JSON-able form; key order is fixed by sorting."""
-        return {
+        """The canonical JSON-able form; key order is fixed by sorting.
+
+        The ``mode``/``replay`` keys appear **only** for replay specs:
+        a reliability spec's canonical document (and therefore its
+        content address) is byte-identical to what it was before the
+        replay mode existed, so no stored result is orphaned.
+        """
+        data: Dict[str, Any] = {
             "schema": SPEC_SCHEMA_VERSION,
             "scheme": self.scheme,
             "trials": self.trials,
@@ -205,6 +263,15 @@ class CampaignSpec:
             "target_ci_width": self.target_ci_width,
             "geometry": dict(self.geometry),
         }
+        if self.mode == "replay":
+            data["mode"] = self.mode
+            data["replay"] = {
+                "workload": self.workload,
+                "requests": self.requests,
+                "replay_cores": self.replay_cores,
+                "thermal": bool(self.thermal),
+            }
+        return data
 
     def canonical_json(self) -> str:
         """Byte-stable serialization: sorted keys, no whitespace."""
@@ -228,6 +295,20 @@ class CampaignSpec:
                 f"unsupported spec schema {schema!r} "
                 f"(expected {SPEC_SCHEMA_VERSION})"
             )
+        # canonical_dict() nests the replay-only knobs under "replay";
+        # flatten them back so round-tripping a stored spec works.
+        replay_block = payload.pop("replay", None)
+        if replay_block is not None:
+            if not isinstance(replay_block, Mapping):
+                raise SpecError(
+                    f"replay block must be a JSON object, "
+                    f"got {type(replay_block).__name__}"
+                )
+            for name, value in dict(replay_block).items():
+                if name not in ("workload", "requests", "replay_cores",
+                                "thermal"):
+                    raise SpecError(f"unknown replay field {name!r}")
+                payload.setdefault(name, value)
         unknown = set(payload) - set(_SPEC_FIELDS)
         if unknown:
             raise SpecError(f"unknown spec field(s): {sorted(unknown)}")
@@ -269,6 +350,18 @@ class CampaignSpec:
             collect_metrics=self.telemetry,
             sampling=self.sampling,
             target_ci_width=self.target_ci_width,
+        )
+
+    def replay_config(self) -> ReplayConfig:
+        contracts.require(
+            self.mode == "replay",
+            "replay_config() is only meaningful for replay specs",
+        )
+        return ReplayConfig(
+            workload=self.workload,
+            cores=self.replay_cores,
+            requests_per_core=self.requests,
+            thermal=self.thermal,
         )
 
 

@@ -47,8 +47,10 @@ from repro.errors import (
     StoreError,
 )
 from repro.faults.rates import FailureRates
+from repro.reliability.montecarlo import EngineConfig
 from repro.reliability.parallel import CampaignReport, ParallelLifetimeRunner
 from repro.reliability.results import ReliabilityResult
+from repro.replay import ReplayCampaignRunner
 from repro.schemes import SCHEMES
 from repro.service.jobs import CampaignSpec, Job, JobState
 from repro.service.queue import JobQueue
@@ -477,13 +479,32 @@ class CampaignScheduler:
 
     def _execute(
         self, job: Job, workers: int
-    ) -> Tuple[ReliabilityResult, Optional[CampaignReport]]:
+    ) -> Tuple[Any, Optional[CampaignReport]]:
         if self._executor is not None:
             return self._executor(job.spec, workers, job.cancel_event)
         spec = job.spec
         geometry = spec.build_geometry()
         model = SCHEMES[spec.scheme](geometry)
         checkpoint = self._checkpoint_path(job)
+        if spec.mode == "replay":
+            replay_runner = ReplayCampaignRunner(
+                geometry,
+                FailureRates.paper_baseline(tsv_device_fit=spec.tsv_fit),
+                model,
+                EngineConfig(
+                    tsv_swap_standby=spec.tsv_swap,
+                    use_dds=spec.dds,
+                    scrub_interval_hours=spec.scrub_hours,
+                ),
+                spec.replay_config(),
+                root_seed=spec.seed,
+                workers=workers,
+                shard_size=spec.shard_size,
+                checkpoint_path=checkpoint,
+                resume=checkpoint.exists(),
+                collect_metrics=spec.telemetry,
+            )
+            return replay_runner.run(trials=spec.effective_trials), None
         runner = ParallelLifetimeRunner(
             geometry,
             FailureRates.paper_baseline(tsv_device_fit=spec.tsv_fit),

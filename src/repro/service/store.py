@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Union
 from repro import contracts
 from repro.errors import StoreError
 from repro.reliability.results import ReliabilityResult
+from repro.replay.results import ReplayResult
 from repro.service.jobs import CampaignSpec
 from repro.telemetry.files import write_json_atomic
 from repro.telemetry.registry import MetricsRegistry
@@ -99,9 +100,23 @@ class ResultStore:
         return spec_or_key
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _parse_result(
+        entry: Dict[str, Any]
+    ) -> Union[ReliabilityResult, ReplayResult]:
+        """Rebuild the stored result, dispatching on the entry kind.
+
+        Reliability entries carry no ``kind`` key (they predate the
+        replay mode and must stay byte-identical); replay entries are
+        tagged ``"kind": "replay"``.
+        """
+        if entry.get("kind") == "replay":
+            return ReplayResult.from_dict(entry["result"])
+        return ReliabilityResult.from_dict(entry["result"])
+
     def get(
         self, spec_or_key: Union[CampaignSpec, str]
-    ) -> Optional[ReliabilityResult]:
+    ) -> Optional[Union[ReliabilityResult, ReplayResult]]:
         """The stored result for this spec (or key), or ``None``.
 
         Counts a ``store/hits`` or ``store/misses`` metric either way.
@@ -116,7 +131,7 @@ class ResultStore:
                 self._touch_disk(key)
                 self._inc("store/hits")
                 self._inc("store/memory_hits")
-                return ReliabilityResult.from_dict(entry["result"])
+                return self._parse_result(entry)
             entry = self._load(key)
             if entry is None:
                 self._inc("store/misses")
@@ -124,7 +139,7 @@ class ResultStore:
             self._remember(key, entry)
             self._inc("store/hits")
             self._inc("store/disk_hits")
-            return ReliabilityResult.from_dict(entry["result"])
+            return self._parse_result(entry)
 
     def entry(self, spec_or_key: Union[CampaignSpec, str]) -> Optional[Dict[str, Any]]:
         """The raw stored document (spec + result), or ``None``."""
@@ -135,7 +150,11 @@ class ResultStore:
                 found = self._load(key)
             return json.loads(json.dumps(found)) if found is not None else None
 
-    def put(self, spec: CampaignSpec, result: ReliabilityResult) -> str:
+    def put(
+        self,
+        spec: CampaignSpec,
+        result: Union[ReliabilityResult, ReplayResult],
+    ) -> str:
         """File ``result`` under ``spec``'s content address; returns key."""
         key = spec.spec_hash()
         entry = {
@@ -144,7 +163,12 @@ class ResultStore:
             "spec_hash": key,
             "result": result.to_dict(),
         }
-        if result.manifest is not None:
+        if isinstance(result, ReplayResult):
+            # The kind tag drives from_dict dispatch on read; it is
+            # written only for replay entries so reliability entries
+            # stay byte-identical to pre-replay builds.
+            entry["kind"] = "replay"
+        if getattr(result, "manifest", None) is not None:
             # The entry-level manifest copy carries the spec hash; the
             # result document's manifest deliberately does not, so a
             # service run stays byte-identical to the equivalent direct

@@ -5,6 +5,8 @@ from repro.workloads.generator import TraceGenerator, rate_mode_traces
 from repro.workloads.profiles import (
     PROFILES,
     SUITES,
+    SYNTHETIC_PROFILES,
+    WORKLOADS,
     WorkloadProfile,
     by_suite,
     memory_intensive,
@@ -17,6 +19,8 @@ __all__ = [
     "rate_mode_traces",
     "PROFILES",
     "SUITES",
+    "SYNTHETIC_PROFILES",
+    "WORKLOADS",
     "WorkloadProfile",
     "by_suite",
     "memory_intensive",

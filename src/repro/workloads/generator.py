@@ -10,6 +10,7 @@ striping policy expands them at simulation time.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
@@ -17,12 +18,18 @@ from repro.perf.timing import CPU_CYCLES_PER_MEM_CYCLE
 from repro.rng import make_rng
 from repro.stack.address import AddressMapper, LineLocation
 from repro.stack.geometry import StackGeometry
-from repro.workloads.profiles import PROFILES, WorkloadProfile
+from repro.workloads.profiles import WORKLOADS, WorkloadProfile
 from repro.workloads.trace import MemoryRequest, Trace
 
 #: Writeback runs start a bounded distance behind the miss stream: the
 #: eviction window, in cache lines (a model parameter, not geometry).
 _WRITEBACK_WINDOW_LINES = 256
+
+#: Knuth multiplicative-hash constant, used to scatter Zipf ranks over
+#: the line space so hot lines land on distinct rows/banks instead of
+#: one sequential run (odd, hence coprime to the power-of-two line
+#: count).
+_ZIPF_SPREAD = 2654435761
 
 #: Cores in the baseline system (Table II), used by rate mode.
 DEFAULT_CORES = 8
@@ -52,6 +59,7 @@ class TraceGenerator:
         self.rng = make_rng(seed=seed)
         self.mapper = AddressMapper(geometry, stacks=stacks)
         self._address: Optional[int] = None
+        self._burst_left = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -64,12 +72,55 @@ class TraceGenerator:
         return (1000.0 / self.profile.mpki) / CPU_CYCLES_PER_MEM_CYCLE
 
     def _next_gap(self) -> int:
-        gap = self.rng.expovariate(1.0 / max(self.mean_gap_cycles, 1e-9))
+        mean = max(self.mean_gap_cycles, 1e-9)
+        if self.profile.arrival_model == "bursty":
+            # On/off modulation: the gap opening a burst stretches by the
+            # idle factor, intra-burst gaps shrink by it.  The default
+            # ("poisson") path draws exactly what it always did, so the
+            # 38 paper profiles generate byte-identical traces.
+            if self._burst_left <= 0:
+                self._burst_left = self._burst_run_length()
+                mean *= self.profile.burst_idle_factor
+            else:
+                mean /= self.profile.burst_idle_factor
+            self._burst_left -= 1
+        gap = self.rng.expovariate(1.0 / mean)
         return max(0, int(round(gap)))
+
+    def _burst_run_length(self) -> int:
+        """Geometric burst size with the profile's mean length."""
+        mean = self.profile.burst_length
+        if mean <= 1.0:
+            return 1
+        length = 1
+        while self.rng.random() < 1.0 - 1.0 / mean:
+            length += 1
+        return length
+
+    def _zipf_line(self) -> int:
+        """A line address drawn Zipf(alpha) over the hot subset.
+
+        The rank comes from inverting the harmonic-sum approximation of
+        the Zipf CDF (closed form, no tables), then ranks are scattered
+        over the full line space with a multiplicative hash so the hot
+        set spans many rows and banks.
+        """
+        hot = max(1, int(self.mapper.num_lines * self.profile.hot_fraction))
+        u = self.rng.random()
+        alpha = self.profile.zipf_alpha
+        if abs(alpha - 1.0) < 1e-9:
+            rank = int(math.exp(u * math.log(hot)))
+        else:
+            span = hot ** (1.0 - alpha) - 1.0
+            rank = int((span * u + 1.0) ** (1.0 / (1.0 - alpha)))
+        rank = min(max(rank - 1, 0), hot - 1)
+        return (rank * _ZIPF_SPREAD) % self.mapper.num_lines
 
     def _next_location(self) -> LineLocation:
         if self._address is not None and self.rng.random() < self.profile.locality:
             self._address = (self._address + 1) % self.mapper.num_lines
+        elif self.profile.address_model == "zipfian":
+            self._address = self._zipf_line()
         else:
             self._address = self.rng.randrange(self.mapper.num_lines)
         return self.mapper.to_location(self._address)
@@ -146,10 +197,14 @@ def rate_mode_traces(
     seed: int = 0,
     stacks: int = 2,
 ) -> List[Trace]:
-    """Rate mode (§III-B): all cores run copies of the same benchmark."""
-    if name not in PROFILES:
+    """Rate mode (§III-B): all cores run copies of the same benchmark.
+
+    Accepts any registered workload — the 38 paper benchmarks plus the
+    synthetic replay profiles (``zipfian``, ``bursty``).
+    """
+    if name not in WORKLOADS:
         raise ConfigurationError(f"unknown benchmark: {name}")
-    profile = PROFILES[name]
+    profile = WORKLOADS[name]
     return [
         TraceGenerator(
             profile, geometry, seed=seed * 1000 + core, stacks=stacks

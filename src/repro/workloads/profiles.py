@@ -47,6 +47,23 @@ class WorkloadProfile:
     #: Mean length of a writeback run (LLC evictions drain dirty lines in
     #: address order, so writebacks arrive in sequential bursts).
     write_run: float = 8.0
+    #: How non-local misses pick an address: ``stream`` draws uniformly
+    #: (the paper's rate-mode stand-ins), ``zipfian`` draws a rank from a
+    #: Zipf distribution over a hot subset of the line space.
+    address_model: str = "stream"
+    #: Zipf exponent, used only when ``address_model == "zipfian"``.
+    zipf_alpha: float = 0.0
+    #: Fraction of the line space forming the Zipf-ranked hot set.
+    hot_fraction: float = 0.0
+    #: Arrival process: ``poisson`` (exponential inter-miss gaps) or
+    #: ``bursty`` (on/off bursts: dense runs separated by long idles).
+    arrival_model: str = "poisson"
+    #: Mean requests per burst, used only when ``arrival_model`` is
+    #: ``bursty``.
+    burst_length: float = 0.0
+    #: Idle/active gap contrast: intra-burst gaps shrink by this factor,
+    #: the gap opening each burst grows by it.
+    burst_idle_factor: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mpki <= 0:
@@ -59,6 +76,24 @@ class WorkloadProfile:
             raise ConfigurationError(f"{self.name}: mlp must be >= 1")
         if self.write_run < 1.0:
             raise ConfigurationError(f"{self.name}: write_run must be >= 1")
+        if self.address_model not in ("stream", "zipfian"):
+            raise ConfigurationError(f"{self.name}: bad address_model")
+        if self.address_model == "zipfian":
+            if self.zipf_alpha <= 0.0:
+                raise ConfigurationError(f"{self.name}: zipf_alpha must be > 0")
+            if not 0.0 < self.hot_fraction <= 1.0:
+                raise ConfigurationError(f"{self.name}: bad hot_fraction")
+        if self.arrival_model not in ("poisson", "bursty"):
+            raise ConfigurationError(f"{self.name}: bad arrival_model")
+        if self.arrival_model == "bursty":
+            if self.burst_length < 1.0:
+                raise ConfigurationError(
+                    f"{self.name}: burst_length must be >= 1"
+                )
+            if self.burst_idle_factor < 1.0:
+                raise ConfigurationError(
+                    f"{self.name}: burst_idle_factor must be >= 1"
+                )
 
 
 def _p(
@@ -121,6 +156,31 @@ PROFILES: Dict[str, WorkloadProfile] = {
         _p("mummer", "BIOBENCH", 14.0, 0.05, 0.80, mlp=8, run=2),
     ]
 }
+
+#: Synthetic stress profiles for the replay co-simulation engine.  They
+#: live in their own registry so the 38 paper benchmarks above stay the
+#: exact §III-B set; resolve both via :data:`WORKLOADS`.
+SYNTHETIC_PROFILES: Dict[str, WorkloadProfile] = {
+    p.name: p
+    for p in [
+        # Skewed reuse: 5% of the line space absorbs most misses, which
+        # concentrates bank activity (and therefore thermal-FIT weight)
+        # on a few banks.
+        WorkloadProfile(
+            "zipfian", "SYNTH", 16.0, 0.30, 0.20, mlp=8, write_run=8.0,
+            address_model="zipfian", zipf_alpha=0.8, hot_fraction=0.05,
+        ),
+        # On/off arrivals: dense request bursts separated by long idles,
+        # stressing the MLP window and scrub-traffic interleaving.
+        WorkloadProfile(
+            "bursty", "SYNTH", 12.0, 0.30, 0.60, mlp=6, write_run=8.0,
+            arrival_model="bursty", burst_length=32.0, burst_idle_factor=8.0,
+        ),
+    ]
+}
+
+#: Every profile a trace generator accepts: paper benchmarks + synthetic.
+WORKLOADS: Dict[str, WorkloadProfile] = {**PROFILES, **SYNTHETIC_PROFILES}
 
 SUITES: List[str] = ["SPEC-FP", "SPEC-INT", "PARSEC", "BIOBENCH"]
 

@@ -9,6 +9,8 @@ rule REPRO001 (no unseeded RNG construction outside CLI entry points).
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.datapath import CitadelDatapath
 from repro.core.parity3dp import make_1dp, make_3dp
@@ -207,6 +209,52 @@ class TestWorkloadDeterminism:
             "mcf", geom, cores=2, requests_per_core=400, seed=3
         )
         assert traces[0].requests != traces[1].requests
+
+
+class TestSyntheticWorkloadDeterminism:
+    """The replay PR's synthetic profiles (zipfian addresses, bursty
+    arrivals) must be pure functions of their seed — for any seed and
+    core count hypothesis finds."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        workload=st.sampled_from(["zipfian", "bursty"]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        cores=st.integers(min_value=1, max_value=3),
+    )
+    def test_equal_seeds_yield_identical_traces(self, workload, seed, cores):
+        geom = StackGeometry()
+        a = rate_mode_traces(
+            workload, geom, cores=cores, requests_per_core=64, seed=seed
+        )
+        b = rate_mode_traces(
+            workload, geom, cores=cores, requests_per_core=64, seed=seed
+        )
+        assert a == b
+
+    def test_different_seeds_diverge(self, geom):
+        for workload in ("zipfian", "bursty"):
+            a = rate_mode_traces(
+                workload, geom, cores=1, requests_per_core=256, seed=1
+            )
+            b = rate_mode_traces(
+                workload, geom, cores=1, requests_per_core=256, seed=2
+            )
+            assert a != b
+
+    def test_synthetic_models_actually_differ_from_stream(self, geom):
+        """The zipfian address model and bursty arrival model must not
+        silently fall through to the default stream/poisson paths."""
+        base = rate_mode_traces(
+            "zipfian", geom, cores=1, requests_per_core=256, seed=3
+        )[0]
+        rows = {r.home.row for r in base.requests}
+        assert len(rows) < 256  # hot-set reuse, not a pure stream
+        bursty = rate_mode_traces(
+            "bursty", geom, cores=1, requests_per_core=256, seed=3
+        )[0]
+        gaps = [r.gap_cycles for r in bursty.requests]
+        assert max(gaps) > 8 * sorted(gaps)[len(gaps) // 2]  # long idles
 
 
 class TestDatapathDeterminism:

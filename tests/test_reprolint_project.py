@@ -683,8 +683,9 @@ class TestRepro010:
 
 
 class TestProjectLockfileCurrent:
-    """The checked-in lockfile must reflect the ISSUE 8 schema growth:
-    CHECKPOINT_VERSION 5 plus the run-provenance manifest surface."""
+    """The checked-in lockfile must reflect the current schema surface:
+    CHECKPOINT_VERSION 6 (replay fingerprints) plus the sampling,
+    run-provenance, and replay schema growth."""
 
     LOCKFILE = (
         Path(__file__).resolve().parent.parent
@@ -693,9 +694,9 @@ class TestProjectLockfileCurrent:
         / "schema_lock.json"
     )
 
-    def test_lockfile_records_checkpoint_version_5(self):
+    def test_lockfile_records_checkpoint_version_6(self):
         locked = json.loads(self.LOCKFILE.read_text())
-        assert locked["checkpoint_version"] == 5
+        assert locked["checkpoint_version"] == 6
 
     def test_lockfile_covers_sampling_schema_surface(self):
         locked = json.loads(self.LOCKFILE.read_text())
@@ -715,6 +716,17 @@ class TestProjectLockfileCurrent:
         manifest = classes["repro.telemetry.manifest.RunManifest"]
         assert any(f.startswith("schemes_hash:") for f in manifest)
         assert any(f.startswith("spec_hash:") for f in manifest)
+
+    def test_lockfile_covers_replay_schema_surface(self):
+        locked = json.loads(self.LOCKFILE.read_text())
+        classes = locked["classes"]
+        engine = classes["repro.reliability.montecarlo.EngineConfig"]
+        assert any(f.startswith("thermal_bank_fit:") for f in engine)
+        assert "repro.replay.engine.ReplayConfig" in classes
+        assert "repro.replay.results.ReplayResult" in classes
+        spec = classes["repro.service.jobs.CampaignSpec"]
+        assert any(f.startswith("mode:") for f in spec)
+        assert any(f.startswith("workload:") for f in spec)
 
     def test_checked_in_lockfile_is_in_sync(self):
         root = self.LOCKFILE.parent.parent.parent

@@ -31,6 +31,9 @@ and fails the build when the incremental hot path has regressed.
 same way: its importance-vs-naive trial-reduction factor is re-checked
 against the recorded floor here, so a variance regression in the
 sampler fails the build even if the bench assertion itself is skipped.
+``bench_replay_throughput`` drops ``bench_replay_throughput.json``:
+its replayed-requests/sec number is re-checked against the recorded
+floor (and its worker-identity flag re-asserted) the same way.
 """
 
 from __future__ import annotations
@@ -145,6 +148,41 @@ def check_sampling_sidecar(results_dir: Path) -> int:
     return 0
 
 
+def check_replay_sidecar(results_dir: Path) -> int:
+    """Enforce the replay-engine throughput floor, if the replay bench
+    ran.
+
+    Returns 0 when the sidecar is absent or the measured requests/sec
+    meets the recorded floor with worker-identical results; 1 on a
+    throughput regression, a worker-identity break, or a mangled
+    sidecar.
+    """
+    sidecar = results_dir / "bench_replay_throughput.json"
+    if not sidecar.is_file():
+        return 0
+    try:
+        data = json.loads(sidecar.read_text())
+        throughput = float(data["requests_per_sec"])
+        threshold = float(data["threshold"])
+        identical = bool(data["results_identical"])
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"bench_report: unreadable replay sidecar {sidecar}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not identical:
+        print("bench_report: replay bench reported worker-count-dependent "
+              "results", file=sys.stderr)
+        return 1
+    if throughput < threshold:
+        print(f"bench_report: replay throughput regressed to "
+              f"{throughput:.0f} req/s (floor {threshold:.0f} req/s)",
+              file=sys.stderr)
+        return 1
+    print(f"bench_report: replay throughput {throughput:.0f} req/s "
+          f"(floor {threshold:.0f} req/s)", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results-dir", default=str(_REPO_ROOT / "results"),
@@ -174,6 +212,7 @@ def main(argv=None) -> int:
     return max(
         check_hotpath_sidecar(Path(args.results_dir)),
         check_sampling_sidecar(Path(args.results_dir)),
+        check_replay_sidecar(Path(args.results_dir)),
     )
 
 

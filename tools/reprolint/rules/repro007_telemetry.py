@@ -39,6 +39,7 @@ class TelemetryDisciplineChecker(Checker):
         "src/repro/core/*",
         "src/repro/ecc/*",
         "src/repro/perf/*",
+        "src/repro/replay/*",
         "src/repro/service/*",
         "src/repro/cli.py",
     )
