@@ -160,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="W",
                      help="stop once the anytime-valid failure-probability "
                           "CI is narrower than W (checked at shard merges)")
+    rel.add_argument("--batch", action="store_true",
+                     help="evaluate trials through the vectorized batch "
+                          "kernel (byte-identical results; needs numpy and "
+                          "--sampling naive)")
     rel.add_argument("--early-stop", type=float, default=None, metavar="REL",
                      help="stop once the 95%% CI half-width is below REL "
                           "of the failure probability (e.g. 0.1)")
@@ -357,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="W",
                         help="anytime-valid CI width at which the campaign "
                              "stops early")
+    submit.add_argument("--batch", action="store_true",
+                        help="evaluate trials through the vectorized batch "
+                             "kernel (byte-identical results)")
     submit.add_argument("--modes", action="store_true",
                         help="collect failure-mode attribution")
     submit.add_argument("--telemetry", action="store_true",
@@ -499,6 +506,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
             collect_metrics=collect_metrics,
             sampling=args.sampling,
             target_ci_width=args.target_ci_width,
+            batch_trials=args.batch,
         ),
         root_seed=args.seed,
         workers=args.workers,
@@ -733,6 +741,7 @@ def _spec_from_args(args: argparse.Namespace) -> "object":
         telemetry=args.telemetry,
         sampling=args.sampling,
         target_ci_width=args.target_ci_width,
+        batch=args.batch,
     )
 
 

@@ -58,7 +58,9 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro import contracts
+from repro.ecc import batch_kernels
 from repro.ecc.base import CorrectionModel
+from repro.ecc.batch_kernels import np
 from repro.errors import ConfigurationError
 from repro.faults.types import Fault
 from repro.stack.geometry import StackGeometry
@@ -130,6 +132,9 @@ class ParityND(CorrectionModel):
         # Unswapped TSV faults self-alias in every dimension and are fatal
         # alone; otherwise at least two faults must collide.
         return 1 if tsv_possible else 2
+
+    def batch_kernel(self) -> "ParityPeelBatchKernel":
+        return ParityPeelBatchKernel(self.geometry, self._sorted_dims)
 
     # ------------------------------------------------------------------ #
     # Peeling
@@ -445,6 +450,116 @@ class ParityND(CorrectionModel):
             cause = "+".join(sorted(survivor_kinds))
             metrics.inc(f"parity/uncorrectable_cause/{cause}")
         return uncorrectable
+
+
+class ParityPeelBatchKernel(batch_kernels.BatchCorrectionKernel):
+    """Array-shaped round-one peelability check for :class:`ParityND`.
+
+    A trial is proven correctable when *every* peeling fault has at least
+    one enabled dimension in which it neither self-aliases nor aliases
+    with any possibly-co-live peeling fault: then every live subset peels
+    completely in its first round (peeling evaluates each fault against
+    the round's starting set, and both the self- and pair-alias
+    predicates are monotone under subsets), so no prefix of the trial is
+    ever uncorrectable.  Trials needing multi-round peeling — or
+    containing unswapped TSV faults, which self-alias everywhere — come
+    back ``False`` and re-run on the exact scalar peeler.
+
+    Metadata-die faults are excluded exactly like ``unpeelable`` excludes
+    them (they are DDS bookkeeping, not peeling work).
+    """
+
+    def __init__(self, geometry: StackGeometry, dims: Sequence[int]) -> None:
+        self.geometry = geometry
+        self.dims = tuple(dims)
+
+    def survives(self, batch: "batch_kernels.TrialBatch") -> "np.ndarray":
+        geometry = self.geometry
+        multi_bank = geometry.banks_per_die > 1
+        # All sampled faults touch a single die; ``die`` is the channel
+        # (== die) for TSV faults, so the metadata-die filter is uniform.
+        peeling = batch.die < geometry.data_dies
+        first, second, colive = batch.pairs()
+        consider = colive & peeling[first] & peeling[second]
+        ok = np.zeros(batch.n_faults, dtype=bool)
+        for dim in self.dims:
+            ok |= ~self._self_alias(batch, dim, multi_bank) & ~self._has_alias(
+                batch, dim, first, second, consider
+            )
+        return batch.trials_where_none(peeling & ~ok)
+
+    # -------------------------------------------------------------- #
+    def _self_alias(
+        self, batch: "batch_kernels.TrialBatch", dim: int, multi_bank: bool
+    ) -> "np.ndarray":
+        spans_banks = batch.is_tsv & multi_bank
+        spans_rows = batch.row_mask != 0
+        if dim == 1:
+            return spans_banks
+        if dim == 2:
+            return spans_rows | spans_banks
+        return spans_rows  # dim 3: every sampled fault is single-die
+
+    def _has_alias(
+        self,
+        batch: "batch_kernels.TrialBatch",
+        dim: int,
+        first: "np.ndarray",
+        second: "np.ndarray",
+        consider: "np.ndarray",
+    ) -> "np.ndarray":
+        """Per-fault mask: aliases with some co-live peeling fault in ``dim``."""
+        if not first.size:
+            return np.zeros(batch.n_faults, dtype=bool)
+        alias = self._alias_pairs(batch, dim, first, second) & consider
+        hits = np.bincount(
+            first[alias], minlength=batch.n_faults
+        ) + np.bincount(second[alias], minlength=batch.n_faults)
+        return hits > 0
+
+    def _alias_pairs(
+        self,
+        batch: "batch_kernels.TrialBatch",
+        dim: int,
+        first: "np.ndarray",
+        second: "np.ndarray",
+    ) -> "np.ndarray":
+        """Vector mirror of ``ParityND._alias`` for single-die faults."""
+        die_eq = batch.die[first] == batch.die[second]
+        single_instance = ~batch.is_tsv[first] | (
+            self.geometry.banks_per_die == 1
+        )
+        if dim == 1:
+            overlap = batch_kernels.rows_intersect(
+                batch, first, second
+            ) & batch_kernels.cols_intersect(batch, first, second)
+            same_single_instance = (
+                die_eq
+                & batch_kernels.banks_equal(batch, first, second)
+                & single_instance
+            )
+            return overlap & ~same_single_instance
+        rows_same_singleton = (
+            (batch.row_mask[first] == 0)
+            & (batch.row_mask[second] == 0)
+            & (batch.row_base[first] == batch.row_base[second])
+        )
+        if dim == 2:
+            overlap = die_eq & batch_kernels.cols_intersect(
+                batch, first, second
+            )
+            same_single_bit = (
+                batch_kernels.banks_equal(batch, first, second)
+                & single_instance
+                & rows_same_singleton
+            )
+            return overlap & ~same_single_bit
+        # dim 3: group (bank, col), one bit per (die, row).
+        overlap = batch_kernels.banks_intersect(
+            batch, first, second
+        ) & batch_kernels.cols_intersect(batch, first, second)
+        same_single_bit = die_eq & rows_same_singleton
+        return overlap & ~same_single_bit
 
 
 def make_1dp(geometry: StackGeometry) -> ParityND:

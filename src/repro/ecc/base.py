@@ -22,7 +22,10 @@ can count fast-path arrivals.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.ecc.batch_kernels import BatchCorrectionKernel
 
 from repro.faults.footprint import RangeMask
 from repro.faults.types import Fault
@@ -103,6 +106,18 @@ class CorrectionModel(abc.ABC):
         """Resynchronise incremental state with an externally-edited
         live set (post-scrub transient removal, DDS sparing/re-exposure)."""
         self._inc_live = list(live)
+
+    def batch_kernel(self) -> Optional["BatchCorrectionKernel"]:
+        """An array-shaped correctability kernel for the batch trial path.
+
+        ``None`` (the default) means the scheme has no vectorized form and
+        ``EngineConfig.batch_trials`` campaigns fall back to the scalar
+        loop.  Implementations return a fresh
+        :class:`repro.ecc.batch_kernels.BatchCorrectionKernel` whose
+        ``survives`` verdicts are *sound*: ``True`` only for trials the
+        scalar engine would also report as non-failing.
+        """
+        return None
 
     def storage_overhead_fraction(self) -> float:
         """Extra storage (check bits, parity, spares) / data storage."""

@@ -1,0 +1,353 @@
+"""Array-shaped correctability kernels for the batch trial path.
+
+The batch engine (:mod:`repro.reliability.batch`) evaluates thousands of
+trials at once: each chunk's sampled faults become column vectors (one row
+per fault) and the scheme's kernel decides — with numpy predicates only —
+which trials *provably survive* their whole lifetime.  A kernel verdict of
+``True`` is a proof: the trial is correctable after every arrival, under
+every scrub/DDS schedule.  ``False`` only means "not proven here"; the
+engine re-runs those trials through the exact scalar simulator, so kernels
+may be conservative but never optimistic.
+
+The soundness argument shared by every kernel:
+
+* The scalar engine's live set at any instant is a *subset* of the trial's
+  arrivals — scrubbing drops transients, DDS only removes (or re-exposes
+  previously-arrived) permanents, and TSV-Swap filtering happens before
+  the loop.  Two faults can only be simultaneously live if the pair is
+  *possibly co-live*: the earlier one is permanent, or both arrivals fall
+  within neighbouring scrub epochs (:meth:`TrialBatch.pairs` keeps a
+  two-epoch slack over the float-exact boundary arithmetic of
+  ``LifetimeSimulator._scrub_epoch_at``, so the mask over-approximates).
+* Every verdict predicate is monotone in the live set (pairwise fatality
+  and round-one peelability both are), so "no predicate fires on the
+  possibly-co-live superset" implies "correctable at every prefix".
+
+All set algebra happens on the FaultSim address+mask representation
+(:mod:`repro.faults.footprint`) flattened to int64 columns; the formulas
+below mirror ``RangeMask.intersects``/``covers`` bit-for-bit and the
+batch-vs-scalar differential tests hold the two in lock-step.
+
+The module degrades gracefully without numpy: importing it is always safe
+(``np`` is ``None``) and the engine raises a ``ConfigurationError`` before
+any kernel is asked to run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+try:  # pragma: no cover - numpy is present in the supported environments
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro import contracts
+from repro.stack.geometry import StackGeometry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from numpy import ndarray
+else:
+    ndarray = object
+
+#: Scrub-epoch slack of the possibly-co-live pair mask.  The engine's
+#: epoch bookkeeping uses exact ``(k + 1) * interval <= t`` comparisons;
+#: ``int(t // interval)`` can round one epoch either way near a boundary,
+#: so two epochs of slack keeps the mask a strict over-approximation.
+COLIVE_EPOCH_SLACK = 2
+
+#: Word size of the SECDED code (matches ``repro.ecc.secded._WORD_BITS``).
+_SECDED_WORD_BITS = 64
+
+
+class TrialBatch:
+    """Column-oriented view of one chunk of sampled trials.
+
+    One row per *live-relevant* fault (TSV faults fully absorbed by
+    TSV-Swap are excluded by the engine before assembly).  Faults of a
+    trial appear contiguously in arrival-time order.  ``die`` holds the
+    channel and ``bank`` is -1 for TSV faults, mirroring
+    :class:`repro.faults.injector.FaultSpec`.
+    """
+
+    def __init__(
+        self,
+        geometry: StackGeometry,
+        counts: List[int],
+        permanent: List[bool],
+        is_tsv: List[bool],
+        is_bank_kind: List[bool],
+        die: List[int],
+        bank: List[int],
+        row_base: List[int],
+        row_mask: List[int],
+        col_base: List[int],
+        col_mask: List[int],
+        epoch: List[int],
+    ) -> None:
+        contracts.require(
+            np is not None, "TrialBatch requires numpy"
+        )
+        self.geometry = geometry
+        self.counts = np.asarray(counts, dtype=np.int64)
+        self.n_trials = int(self.counts.size)
+        self.offsets = np.cumsum(self.counts) - self.counts
+        self.trial = np.repeat(
+            np.arange(self.n_trials, dtype=np.int64), self.counts
+        )
+        self.n_faults = int(self.trial.size)
+        self.permanent = np.asarray(permanent, dtype=bool)
+        self.is_tsv = np.asarray(is_tsv, dtype=bool)
+        self.is_bank_kind = np.asarray(is_bank_kind, dtype=bool)
+        self.die = np.asarray(die, dtype=np.int64)
+        self.bank = np.asarray(bank, dtype=np.int64)
+        self.row_base = np.asarray(row_base, dtype=np.int64)
+        self.row_mask = np.asarray(row_mask, dtype=np.int64)
+        self.col_base = np.asarray(col_base, dtype=np.int64)
+        self.col_mask = np.asarray(col_mask, dtype=np.int64)
+        self.epoch = np.asarray(epoch, dtype=np.int64)
+        self._pair_cache: Optional[
+            Tuple[ndarray, ndarray, ndarray]
+        ] = None
+
+    # ------------------------------------------------------------------ #
+    def pairs(self) -> Tuple[ndarray, ndarray, ndarray]:
+        """All intra-trial ordered fault pairs as index vectors.
+
+        Returns ``(first, second, colive)``: for every trial with ``c``
+        faults, all ``c * (c - 1) / 2`` pairs with ``first`` arriving no
+        later than ``second``, plus the possibly-co-live mask described in
+        the module docstring.
+        """
+        if self._pair_cache is None:
+            indices = np.arange(self.n_faults, dtype=np.int64)
+            # Position of each fault within its trial = number of
+            # predecessors it pairs with (as ``second``).
+            local = indices - np.repeat(self.offsets, self.counts)
+            second = np.repeat(indices, local)
+            block_starts = np.cumsum(local) - local
+            n_pairs = int(local.sum())
+            within = np.arange(n_pairs, dtype=np.int64) - np.repeat(
+                block_starts, local
+            )
+            first = np.repeat(indices - local, local) + within
+            colive = self.permanent[first] | (
+                self.epoch[second] <= self.epoch[first] + COLIVE_EPOCH_SLACK
+            )
+            self._pair_cache = (first, second, colive)
+        return self._pair_cache
+
+    def trials_where_none(self, fault_flag: ndarray) -> ndarray:
+        """Per-trial mask: no fault of the trial has ``fault_flag`` set."""
+        hits = np.bincount(
+            self.trial[fault_flag], minlength=self.n_trials
+        )
+        return hits == 0
+
+
+# ---------------------------------------------------------------------- #
+# RangeMask / footprint algebra over int64 columns
+# ---------------------------------------------------------------------- #
+def rm_intersects(
+    base_a: ndarray, mask_a: ndarray, base_b: ndarray, mask_b: ndarray
+) -> ndarray:
+    """Vector form of ``RangeMask.intersects``."""
+    return ((base_a ^ base_b) & ~(mask_a | mask_b)) == 0
+
+
+def rm_covers(
+    base_a: ndarray, mask_a: ndarray, base_b: ndarray, mask_b: ndarray
+) -> ndarray:
+    """Vector form of ``RangeMask.covers`` (``a`` is a superset of ``b``)."""
+    return ((mask_b & ~mask_a) == 0) & ((base_b & ~mask_a) == base_a)
+
+
+def banks_intersect(
+    batch: TrialBatch, first: ndarray, second: ndarray
+) -> ndarray:
+    """Do the two faults' bank sets share a bank?  (TSV = all banks.)"""
+    if batch.geometry.banks_per_die == 1:
+        return np.ones(first.shape, dtype=bool)
+    return (
+        batch.is_tsv[first]
+        | batch.is_tsv[second]
+        | (batch.bank[first] == batch.bank[second])
+    )
+
+
+def banks_equal(
+    batch: TrialBatch, first: ndarray, second: ndarray
+) -> ndarray:
+    """Are the two faults' bank sets *equal*?"""
+    if batch.geometry.banks_per_die == 1:
+        return np.ones(first.shape, dtype=bool)
+    tsv_a, tsv_b = batch.is_tsv[first], batch.is_tsv[second]
+    return (tsv_a & tsv_b) | (
+        ~tsv_a & ~tsv_b & (batch.bank[first] == batch.bank[second])
+    )
+
+
+def footprint_covers(
+    batch: TrialBatch, a: ndarray, b: ndarray
+) -> ndarray:
+    """Vector form of ``Footprint.covers`` (``a`` covers ``b``)."""
+    tsv_a, tsv_b = batch.is_tsv[a], batch.is_tsv[b]
+    if batch.geometry.banks_per_die == 1:
+        banks_sup = np.ones(a.shape, dtype=bool)
+    else:
+        banks_sup = tsv_a | (~tsv_b & (batch.bank[a] == batch.bank[b]))
+    return (
+        (batch.die[a] == batch.die[b])
+        & banks_sup
+        & rm_covers(
+            batch.row_base[a], batch.row_mask[a],
+            batch.row_base[b], batch.row_mask[b],
+        )
+        & rm_covers(
+            batch.col_base[a], batch.col_mask[a],
+            batch.col_base[b], batch.col_mask[b],
+        )
+    )
+
+
+def rows_intersect(
+    batch: TrialBatch, first: ndarray, second: ndarray
+) -> ndarray:
+    return rm_intersects(
+        batch.row_base[first], batch.row_mask[first],
+        batch.row_base[second], batch.row_mask[second],
+    )
+
+
+def cols_intersect(
+    batch: TrialBatch, first: ndarray, second: ndarray
+) -> ndarray:
+    return rm_intersects(
+        batch.col_base[first], batch.col_mask[first],
+        batch.col_base[second], batch.col_mask[second],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Kernels
+# ---------------------------------------------------------------------- #
+class BatchCorrectionKernel:
+    """Array-shaped correctability check for one scheme.
+
+    ``survives(batch)`` returns one bool per trial: ``True`` proves the
+    trial correctable at every prefix of its arrival sequence (the engine
+    skips the scalar simulation), ``False`` sends it to the exact scalar
+    path.  The boundary is deliberately data-only (int64/bool columns in,
+    bool vector out) so a native backend can implement the same contract.
+    """
+
+    def survives(self, batch: TrialBatch) -> ndarray:
+        raise NotImplementedError
+
+
+class PairwiseBatchKernel(BatchCorrectionKernel):
+    """Shared shape of the pairwise schemes (SECDED / 2D-ECC / RAID-5).
+
+    A trial survives when no single fault is fatal alone and no possibly-
+    co-live pair is fatal together — the vectorized mirror of
+    ``IncrementalPairwiseModel``'s monotone verdict.
+    """
+
+    def __init__(self, geometry: StackGeometry) -> None:
+        self.geometry = geometry
+
+    def survives(self, batch: TrialBatch) -> ndarray:
+        ok = batch.trials_where_none(self._fatal_alone(batch))
+        first, second, colive = batch.pairs()
+        if first.size:
+            fatal = self._fatal_pair(batch, first, second) & colive
+            pair_bad = np.bincount(
+                batch.trial[first[fatal]], minlength=batch.n_trials
+            )
+            ok &= pair_bad == 0
+        return ok
+
+    def _fatal_alone(self, batch: TrialBatch) -> ndarray:
+        raise NotImplementedError
+
+    def _fatal_pair(
+        self, batch: TrialBatch, first: ndarray, second: ndarray
+    ) -> ndarray:
+        raise NotImplementedError
+
+
+class SECDEDBatchKernel(PairwiseBatchKernel):
+    """Vector mirror of ``repro.ecc.secded.SECDED``."""
+
+    def _fatal_alone(self, batch: TrialBatch) -> ndarray:
+        # > 1 bit per aligned 64-bit word <=> the column mask has
+        # don't-care bits inside the word offset.
+        return (batch.col_mask & (_SECDED_WORD_BITS - 1)) != 0
+
+    def _fatal_pair(
+        self, batch: TrialBatch, first: ndarray, second: ndarray
+    ) -> ndarray:
+        nested = footprint_covers(batch, first, second) | footprint_covers(
+            batch, second, first
+        )
+        word_low = _SECDED_WORD_BITS - 1
+        share_word = (
+            (batch.col_base[first] ^ batch.col_base[second])
+            & ~(batch.col_mask[first] | batch.col_mask[second] | word_low)
+        ) == 0
+        return (
+            ~nested
+            & (batch.die[first] == batch.die[second])
+            & banks_intersect(batch, first, second)
+            & rows_intersect(batch, first, second)
+            & share_word
+        )
+
+
+class TwoDimBatchKernel(PairwiseBatchKernel):
+    """Vector mirror of ``repro.ecc.parity2d.TwoDimECC``."""
+
+    def __init__(self, geometry: StackGeometry, tile: int) -> None:
+        super().__init__(geometry)
+        #: ``2**popcount(mask) > tile`` <=> ``popcount(mask) >= this``.
+        self._popcount_over_tile = tile.bit_length()
+
+    def _fatal_alone(self, batch: TrialBatch) -> ndarray:
+        multi_bank = batch.is_tsv & (self.geometry.banks_per_die > 1)
+        area = (
+            np.bitwise_count(batch.row_mask) >= self._popcount_over_tile
+        ) & (np.bitwise_count(batch.col_mask) >= self._popcount_over_tile)
+        return batch.is_bank_kind | multi_bank | area
+
+    def _fatal_pair(
+        self, batch: TrialBatch, first: ndarray, second: ndarray
+    ) -> ndarray:
+        nested = footprint_covers(batch, first, second) | footprint_covers(
+            batch, second, first
+        )
+        return (
+            ~nested
+            & (batch.die[first] == batch.die[second])
+            & banks_intersect(batch, first, second)
+            & (
+                rows_intersect(batch, first, second)
+                | cols_intersect(batch, first, second)
+            )
+        )
+
+
+class RAID5BatchKernel(PairwiseBatchKernel):
+    """Vector mirror of ``repro.ecc.raid5.RAID5``."""
+
+    def _fatal_alone(self, batch: TrialBatch) -> ndarray:
+        # spans_multiple_banks(): only TSV faults touch more than one
+        # (die, bank) instance, and only when a die has several banks.
+        return batch.is_tsv & (self.geometry.banks_per_die > 1)
+
+    def _fatal_pair(
+        self, batch: TrialBatch, first: ndarray, second: ndarray
+    ) -> ndarray:
+        same_strip = (batch.die[first] == batch.die[second]) & banks_equal(
+            batch, first, second
+        )
+        return ~same_strip & rows_intersect(batch, first, second)

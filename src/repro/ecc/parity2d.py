@@ -50,6 +50,11 @@ class TwoDimECC(IncrementalPairwiseModel):
     def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
         return 1
 
+    def batch_kernel(self):
+        from repro.ecc.batch_kernels import TwoDimBatchKernel
+
+        return TwoDimBatchKernel(self.geometry, self.TILE)
+
     # ------------------------------------------------------------------ #
     def _fatal_alone(self, fault: Fault) -> bool:
         fp = fault.footprint

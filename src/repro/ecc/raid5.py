@@ -32,6 +32,11 @@ class RAID5(IncrementalPairwiseModel):
     def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
         return 1 if tsv_possible else 2
 
+    def batch_kernel(self):
+        from repro.ecc.batch_kernels import RAID5BatchKernel
+
+        return RAID5BatchKernel(self.geometry)
+
     # ------------------------------------------------------------------ #
     # Stripes span every bank of every die, so no die/bank occupancy
     # index can prune the pair candidates; the kernel's value here is the

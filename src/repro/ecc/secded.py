@@ -37,6 +37,11 @@ class SECDED(IncrementalPairwiseModel):
     def min_faults_to_fail(self, tsv_possible: bool = True) -> int:
         return 1
 
+    def batch_kernel(self):
+        from repro.ecc.batch_kernels import SECDEDBatchKernel
+
+        return SECDEDBatchKernel(self.geometry)
+
     def _bits_per_word(self, cols: RangeMask) -> int:
         within = cols.mask & (_WORD_BITS - 1)
         return 1 << bin(within).count("1")

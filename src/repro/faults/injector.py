@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import contracts
 from repro.errors import ConfigurationError
 from repro.faults.rates import FailureRates
 from repro.faults.types import (
@@ -45,12 +46,207 @@ from repro.stack.geometry import LIFETIME_HOURS, StackGeometry
 
 _FIT_TO_PER_HOUR = 1e-9
 
+#: Log-domain terms more than this far below the running maximum are
+#: beyond double precision and can be dropped from a log-sum-exp.
+_LOG_NEGLIGIBLE = 60.0
+
+
+def _poisson_log_pmf(lam: float, log_lam: float, j: int) -> float:
+    return -lam + j * log_lam - math.lgamma(j + 1)
+
+
+def _poisson_tail_log_space(lam: float, min_faults: int) -> float:
+    """P(N >= min_faults) for Poisson(lam) when ``exp(-lam)`` underflows.
+
+    For ``lam >~ 745`` every term of the direct CDF summation derives from
+    ``exp(-lam) == 0.0`` and the survival collapses to 1.0 regardless of
+    ``min_faults``.  Work in log space instead: log-sum-exp whichever side
+    of the distribution is the *small* one (the CDF prefix below the mean,
+    the tail above it) and recover the survival through ``expm1``/``exp``.
+    """
+    log_lam = math.log(lam)
+    if min_faults <= lam:
+        # The prefix CDF is the small quantity.  Its terms increase
+        # monotonically for j < lam, so sum downward from the largest and
+        # stop once further terms cannot move a double.
+        peak = _poisson_log_pmf(lam, log_lam, min_faults - 1)
+        total = 0.0
+        for j in range(min_faults - 1, -1, -1):
+            log_term = _poisson_log_pmf(lam, log_lam, j)
+            if log_term < peak - _LOG_NEGLIGIBLE:
+                break
+            total += math.exp(log_term - peak)
+        log_cdf = peak + math.log(total)
+        if log_cdf >= 0.0:  # pure rounding: CDF cannot exceed 1
+            return 0.0
+        return min(1.0, -math.expm1(log_cdf))
+    # The tail is the small quantity; its terms decrease monotonically
+    # once j > lam, so sum forward until negligible.
+    peak = _poisson_log_pmf(lam, log_lam, min_faults)
+    total = 0.0
+    j = min_faults
+    while True:
+        log_term = _poisson_log_pmf(lam, log_lam, j)
+        if log_term < peak - _LOG_NEGLIGIBLE:
+            break
+        total += math.exp(log_term - peak)
+        j += 1
+    log_survival = peak + math.log(total)
+    if log_survival >= 0.0:
+        return 1.0
+    return math.exp(log_survival)
+
 
 @dataclass(frozen=True)
 class _RateEntry:
     kind: FaultKind
     permanence: Permanence
     rate_per_hour: float
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The sampled identity of one fault, before ``Fault`` construction.
+
+    A spec captures exactly the information the injector's random draws
+    decide — final kind (after the BANK->SUBARRAY transposition and the
+    DTSV/ATSV split), permanence, location coordinates — in a flat,
+    array-friendly record.  ``build`` turns it into a full :class:`Fault`
+    through the ``make_*`` constructors, so the scalar path and the batch
+    trial kernel share one source of truth for both the draw sequence and
+    the footprint shapes.
+
+    Coordinate conventions: ``die`` holds the channel for TSV kinds and
+    ``bank`` is -1 (a TSV fault spans every bank of its die).  ``a``/``b``
+    are the kind-specific placement draws:
+
+    ========== ======================= =================
+    kind        a                       b
+    ========== ======================= =================
+    BIT         row                     column bit
+    WORD        row                     word index
+    COLUMN      column bit              (unused)
+    ROW         row                     (unused)
+    SUBARRAY    subarray                (unused)
+    BANK        (unused)                (unused)
+    DATA_TSV    tsv index               (unused)
+    ADDR_TSV    tsv index               stuck value
+    ========== ======================= =================
+    """
+
+    kind: FaultKind
+    permanence: Permanence
+    die: int
+    bank: int
+    a: int = 0
+    b: int = 0
+
+    def __post_init__(self) -> None:
+        # Hot path (one spec per sampled fault): short-circuit so the
+        # common all-in-range case costs two comparisons.
+        if self.die < 0 or self.bank < -1 or (
+            self.bank < 0 and not self.kind.is_tsv
+        ):
+            contracts.require(
+                False,
+                "FaultSpec coordinates out of range: die=%d bank=%d kind=%s",
+                self.die,
+                self.bank,
+                self.kind.value,
+            )
+
+    def footprint_masks(self, geometry: StackGeometry) -> Tuple[int, int, int, int]:
+        """``(row_base, row_mask, col_base, col_mask)`` of the built fault.
+
+        The canonicalized address+mask pairs :meth:`build`'s footprint
+        would carry, as plain ints — the array-shaped view the batch trial
+        kernels consume without constructing ``Fault`` objects.  Mirrors
+        the ``make_*`` constructors bit-for-bit; the batch-vs-scalar
+        differential tests hold the two in lock-step.
+        """
+        kind = self.kind
+        row_universe = (1 << geometry.row_address_bits) - 1
+        col_universe = (1 << geometry.col_address_bits) - 1
+        if kind is FaultKind.BIT:
+            return self.a, 0, self.b, 0
+        if kind is FaultKind.WORD:
+            word_bits = min(WORD_BITS, geometry.row_bits)
+            return self.a, 0, self.b * word_bits, word_bits - 1
+        if kind is FaultKind.COLUMN:
+            return 0, row_universe, self.a, 0
+        if kind is FaultKind.ROW:
+            return self.a, 0, 0, col_universe
+        if kind is FaultKind.SUBARRAY:
+            return (
+                self.a * geometry.rows_per_subarray,
+                geometry.rows_per_subarray - 1,
+                0,
+                col_universe,
+            )
+        if kind is FaultKind.BANK:
+            return 0, row_universe, 0, col_universe
+        if kind is FaultKind.DATA_TSV:
+            num_dtsv = geometry.data_tsvs_per_channel
+            burst = geometry.line_bits // num_dtsv
+            burst_mask = (burst - 1) * num_dtsv if burst > 1 else 0
+            line_select_mask = col_universe & ~(geometry.line_bits - 1)
+            col_mask = burst_mask | line_select_mask
+            return 0, row_universe, self.a & ~col_mask, col_mask
+        if kind is FaultKind.ADDR_TSV:
+            bit = self.a % geometry.row_address_bits
+            return (
+                (1 - self.b) << bit,
+                row_universe & ~(1 << bit),
+                0,
+                col_universe,
+            )
+        raise ConfigurationError(f"unsupported fault kind: {kind}")
+
+    def build(self, geometry: StackGeometry, time_hours: float = 0.0) -> Fault:
+        kind = self.kind
+        if kind is FaultKind.BIT:
+            return make_bit_fault(
+                geometry, self.die, self.bank, self.a, self.b,
+                self.permanence, time_hours,
+            )
+        if kind is FaultKind.WORD:
+            return make_word_fault(
+                geometry, self.die, self.bank, self.a, self.b,
+                self.permanence, time_hours,
+            )
+        if kind is FaultKind.COLUMN:
+            return make_column_fault(
+                geometry, self.die, self.bank, self.a,
+                self.permanence, time_hours,
+            )
+        if kind is FaultKind.ROW:
+            return make_row_fault(
+                geometry, self.die, self.bank, self.a,
+                self.permanence, time_hours,
+            )
+        if kind is FaultKind.SUBARRAY:
+            return make_subarray_fault(
+                geometry, self.die, self.bank, self.a,
+                self.permanence, time_hours,
+            )
+        if kind is FaultKind.BANK:
+            return make_bank_fault(
+                geometry, self.die, self.bank, self.permanence, time_hours
+            )
+        if kind is FaultKind.DATA_TSV:
+            return make_data_tsv_fault(
+                geometry, self.die, self.a, self.permanence, time_hours
+            )
+        if kind is FaultKind.ADDR_TSV:
+            return make_addr_tsv_fault(
+                geometry,
+                self.die,
+                self.a,
+                stuck_value=self.b,
+                permanence=self.permanence,
+                time_hours=time_hours,
+            )
+        raise ConfigurationError(f"unsupported fault kind: {kind}")
 
 
 class FaultInjector:
@@ -111,16 +307,26 @@ class FaultInjector:
     def prob_at_least(
         self, min_faults: int, lifetime_hours: float = LIFETIME_HOURS
     ) -> float:
-        """P(N >= min_faults) for the Poisson fault count."""
+        """P(N >= min_faults) for the Poisson fault count.
+
+        Small means use the direct CDF summation — bitwise-identical to
+        the historical weights that golden fixtures and checkpoints embed.
+        Once ``exp(-lam)`` underflows (lam >~ 745, e.g. Cerberus-style
+        cross-layer stress sweeps) the direct sum degenerates to 1.0 for
+        every ``min_faults``; those means switch to a log-space
+        evaluation (:func:`_poisson_tail_log_space`).
+        """
         lam = self.expected_faults(lifetime_hours)
         if min_faults <= 0:
             return 1.0
-        cdf = 0.0
         term = math.exp(-lam)
-        for k in range(min_faults):
-            cdf += term
-            term *= lam / (k + 1)
-        return max(0.0, 1.0 - cdf)
+        if term > 0.0:
+            cdf = 0.0
+            for k in range(min_faults):
+                cdf += term
+                term *= lam / (k + 1)
+            return max(0.0, 1.0 - cdf)
+        return _poisson_tail_log_space(lam, min_faults)
 
     # ------------------------------------------------------------------ #
     def sample_count(
@@ -152,6 +358,13 @@ class FaultInjector:
         arrival distribution — and lets alternative time proposals
         (``repro.reliability.sampling``) reuse the kind sampler as-is.
         """
+        contracts.require(
+            len(faults) == len(times),
+            "place_at needs one arrival time per fault: "
+            "%d faults vs %d times",
+            len(faults),
+            len(times),
+        )
         ordered = sorted(times)
         return [fault.at_time(t) for fault, t in zip(faults, ordered)]
 
@@ -188,6 +401,13 @@ class FaultInjector:
                 "cannot condition on faults with a zero total rate"
             )
         term = math.exp(-lam)
+        if term == 0.0:
+            raise ConfigurationError(
+                f"Poisson mean {lam:g} is too large for inverse-CDF "
+                "conditioning: exp(-mean) underflows, so every "
+                "conditioned draw would silently return the minimum and "
+                "bias the stratified estimator"
+            )
         cdf = 0.0
         for k in range(minimum):
             cdf += term
@@ -199,17 +419,33 @@ class FaultInjector:
         acc = 0.0
         while True:
             acc += term
-            if u <= acc or term < 1e-300:
+            if u <= acc:
                 return k
+            if term < 1e-300:
+                raise ConfigurationError(
+                    f"truncated-Poisson tail mass underflowed at mean "
+                    f"{lam:g}, minimum {minimum}: the conditioned sampler "
+                    "cannot place the draw without biasing the stratum"
+                )
             k += 1
             term *= lam / k
 
     # ------------------------------------------------------------------ #
-    def _sample_fault(self) -> Fault:
+    def sample_specs(self, count: int) -> List[FaultSpec]:
+        """``count`` fault specs — the same draws :meth:`sample_kinds`
+        consumes, without constructing ``Fault`` objects.  The batch trial
+        kernel samples through this so its RNG stream stays bitwise-
+        compatible with the scalar path."""
+        return [self._sample_spec() for _ in range(count)]
+
+    def _sample_spec(self) -> FaultSpec:
         entry = self.rng.choices(self._entries, weights=self._weights, k=1)[0]
         if entry.kind.is_tsv:
-            return self._sample_tsv_fault()
-        return self._sample_dram_fault(entry.kind, entry.permanence)
+            return self._sample_tsv_spec()
+        return self._sample_dram_spec(entry.kind, entry.permanence)
+
+    def _sample_fault(self) -> Fault:
+        return self._sample_spec().build(self.geometry)
 
     def _sample_die(self) -> int:
         num_dies = (
@@ -228,64 +464,66 @@ class FaultInjector:
         """
         return self.rng.randrange(self.geometry.banks_per_die)
 
-    def _sample_dram_fault(self, kind: FaultKind, permanence: Permanence) -> Fault:
+    def _sample_dram_spec(
+        self, kind: FaultKind, permanence: Permanence
+    ) -> FaultSpec:
         geometry, rng = self.geometry, self.rng
         die = self._sample_die()
         bank = self._sample_bank()
         if kind is FaultKind.BIT:
-            return make_bit_fault(
-                geometry,
+            return FaultSpec(
+                kind,
+                permanence,
                 die,
                 bank,
                 rng.randrange(geometry.rows_per_bank),
                 rng.randrange(geometry.row_bits),
-                permanence,
             )
         if kind is FaultKind.WORD:
             words_per_row = max(1, geometry.row_bits // WORD_BITS)
-            return make_word_fault(
-                geometry,
+            return FaultSpec(
+                kind,
+                permanence,
                 die,
                 bank,
                 rng.randrange(geometry.rows_per_bank),
                 rng.randrange(words_per_row),
-                permanence,
             )
         if kind is FaultKind.COLUMN:
-            return make_column_fault(
-                geometry,
-                die,
-                bank,
-                rng.randrange(geometry.row_bits),
-                permanence,
+            return FaultSpec(
+                kind, permanence, die, bank, rng.randrange(geometry.row_bits)
             )
         if kind is FaultKind.ROW:
-            return make_row_fault(
-                geometry, die, bank, rng.randrange(geometry.rows_per_bank), permanence
+            return FaultSpec(
+                kind,
+                permanence,
+                die,
+                bank,
+                rng.randrange(geometry.rows_per_bank),
             )
         if kind is FaultKind.SUBARRAY:
-            return make_subarray_fault(
-                geometry,
+            return FaultSpec(
+                kind,
+                permanence,
                 die,
                 bank,
                 rng.randrange(geometry.subarrays_per_bank),
-                permanence,
             )
         if kind is FaultKind.BANK:
             # Table I's "single bank" rate: transposed to subarray failures
             # unless the 'full' ablation is selected (§II-B, Figure 17).
             if self.rates.bank_fault_granularity == "subarray":
-                return make_subarray_fault(
-                    geometry,
+                return FaultSpec(
+                    FaultKind.SUBARRAY,
+                    permanence,
                     die,
                     bank,
                     rng.randrange(geometry.subarrays_per_bank),
-                    permanence,
                 )
-            return make_bank_fault(geometry, die, bank, permanence)
+            return FaultSpec(kind, permanence, die, bank)
         raise ConfigurationError(f"unsupported DRAM fault kind: {kind}")
 
-    def _sample_tsv_fault(self) -> Fault:
+    def _sample_tsv_spec(self) -> FaultSpec:
         """TSV faults land on a uniformly random TSV of a random channel.
 
         The DTSV/ATSV split is proportional to the TSV populations
@@ -297,12 +535,16 @@ class FaultInjector:
         num_atsv = geometry.addr_tsvs_per_channel
         pick = rng.randrange(num_dtsv + num_atsv)
         if pick < num_dtsv:
-            return make_data_tsv_fault(geometry, channel, pick)
-        return make_addr_tsv_fault(
-            geometry,
+            return FaultSpec(
+                FaultKind.DATA_TSV, Permanence.PERMANENT, channel, -1, pick
+            )
+        return FaultSpec(
+            FaultKind.ADDR_TSV,
+            Permanence.PERMANENT,
             channel,
+            -1,
             pick - num_dtsv,
-            stuck_value=rng.randrange(2),
+            rng.randrange(2),
         )
 
 

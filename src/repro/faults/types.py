@@ -51,7 +51,8 @@ class FaultKind(enum.Enum):
 
     @property
     def is_tsv(self) -> bool:
-        return self in (FaultKind.DATA_TSV, FaultKind.ADDR_TSV)
+        # Identity checks: this property sits on the sampling hot path.
+        return self is FaultKind.DATA_TSV or self is FaultKind.ADDR_TSV
 
 
 class Permanence(enum.Enum):

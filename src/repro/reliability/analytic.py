@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.faults.injector import _poisson_tail_log_space
 from repro.faults.rates import FailureRates
 from repro.faults.types import FaultKind, Permanence
 from repro.stack.geometry import LIFETIME_HOURS, StackGeometry
@@ -62,14 +63,23 @@ class AnalyticModel:
 
     def prob_at_least(self, k: int) -> float:
         """P(N >= k) for the Poisson lifetime fault count — the stratum
-        weight the engine must use."""
+        weight the engine must use.
+
+        Mirrors :meth:`FaultInjector.prob_at_least` exactly, including the
+        log-space branch once ``exp(-lam)`` underflows, so the analytic and
+        sampled layers keep agreeing at stress-sweep means.
+        """
         lam = self.expected_all_faults()
-        cdf = 0.0
+        if k <= 0:
+            return 1.0
         term = math.exp(-lam)
-        for i in range(k):
-            cdf += term
-            term *= lam / (i + 1)
-        return max(0.0, 1.0 - cdf)
+        if term > 0.0:
+            cdf = 0.0
+            for i in range(k):
+                cdf += term
+                term *= lam / (i + 1)
+            return max(0.0, 1.0 - cdf)
+        return _poisson_tail_log_space(lam, k)
 
     # ------------------------------------------------------------------ #
     # Dominant failure modes of 3DP without DDS (§VI model)

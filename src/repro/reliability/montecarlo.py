@@ -101,6 +101,15 @@ class EngineConfig:
     #: sequence over the failure probability is narrower than this
     #: (consulted by ``ParallelLifetimeRunner`` at shard merge points).
     target_ci_width: Optional[float] = None
+    #: Evaluate naive-sampling trials in numpy batches: chunks of trials
+    #: become fault-column arrays screened by the scheme's
+    #: :meth:`~repro.ecc.base.CorrectionModel.batch_kernel`; only trials
+    #: the kernel cannot prove survivable re-run on the scalar path.
+    #: Results are byte-identical to the scalar loop (same RNG stream,
+    #: same weights, same failure times).  Falls back to the scalar loop
+    #: silently when the model has no kernel or per-trial observability
+    #: (metrics/sparing/failure modes/tracing) is on.
+    batch_trials: bool = False
     #: Per-bank-position thermal FIT multipliers from the replay engine's
     #: activity-weighted thermal proxy (one per bank of a die, applied to
     #: every die).  ``None`` — the default — keeps the uniform
@@ -132,6 +141,12 @@ class EngineConfig:
             self.target_ci_width is None or self.target_ci_width > 0,
             "target_ci_width must be positive or None, got %r",
             self.target_ci_width,
+        )
+        contracts.require(
+            not self.batch_trials or self.sampling == "naive",
+            "batch_trials only supports the naive sampling plan, "
+            "got sampling=%r",
+            self.sampling,
         )
         if self.thermal_bank_fit is not None:
             self.thermal_bank_fit = tuple(
@@ -213,6 +228,12 @@ class LifetimeSimulator:
         strata_min = self.default_min_faults() if min_faults is None else min_faults
         if self.config.sampling != "naive":
             return self._run_sampled(trials, strata_min, label)
+        if self.config.batch_trials:
+            from repro.reliability.batch import make_batch_runner
+
+            batch_runner = make_batch_runner(self)
+            if batch_runner is not None:
+                return batch_runner.run(trials, strata_min, label)
         stats = SparingStats() if self.config.collect_sparing_stats else None
         metrics = MetricsRegistry() if self.config.collect_metrics else None
         failures = 0

@@ -92,8 +92,10 @@ from repro.telemetry.tracing import TraceWriter
 #: ``target_ci_width`` and shard results grew per-stratum tallies
 #: (``ReliabilityResult.strata``); v5: merged results grew the optional
 #: run-provenance ``manifest`` sidecar; v6: ``EngineConfig`` grew
-#: ``thermal_bank_fit`` (the replay engine's thermal-FIT feedback).
-CHECKPOINT_VERSION = 6
+#: ``thermal_bank_fit`` (the replay engine's thermal-FIT feedback);
+#: v7: ``EngineConfig`` grew ``batch_trials`` (the vectorized trial
+#: kernel toggle).
+CHECKPOINT_VERSION = 7
 
 #: Bucket edges (seconds) of the wall-clock shard-latency histogram kept
 #: in ``last_campaign_metrics`` (volatile: never merged into results).

@@ -3,13 +3,15 @@ sampling weights, and fault placement."""
 
 import math
 import random
+from decimal import Decimal, localcontext
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ContractViolation
 from repro.faults.injector import FaultInjector
 from repro.faults.rates import FailureRates
 from repro.faults.types import FaultKind, Permanence
+from repro.reliability.analytic import AnalyticModel
 from repro.stack.geometry import LIFETIME_HOURS, StackGeometry
 
 
@@ -146,3 +148,118 @@ class TestPlacement:
         transient = sum(f.is_transient for f in faults) / len(faults)
         # 134.66 transient / 409.11 total
         assert transient == pytest.approx(134.66 / 409.11, abs=0.04)
+
+
+# ---------------------------------------------------------------------- #
+# Large-mean Poisson tails (log-space regression)
+# ---------------------------------------------------------------------- #
+def poisson_tail_reference(lam: float, k: int) -> float:
+    """P(N >= k) in arbitrary-precision Decimal (scipy-free ground truth).
+
+    Sums the tail forward from pmf(k); Decimal's huge exponent range means
+    nothing underflows, and summing the tail directly (instead of
+    ``1 - cdf``) avoids catastrophic cancellation for k >> lam.
+    """
+    with localcontext() as ctx:
+        ctx.prec = 80
+        lam_d = Decimal(repr(lam))
+        term = (-lam_d).exp()
+        for j in range(1, k + 1):
+            term = term * lam_d / j
+        tail = Decimal(0)
+        j = k
+        while True:
+            tail += term
+            j += 1
+            term = term * lam_d / j
+            if j > lam and term < tail * Decimal("1e-40"):
+                break
+        return float(tail)
+
+
+class TestLargeMeanTails:
+    """``prob_at_least`` must stay finite-precision-correct for means far
+    past the ``exp(-lam) == 0`` underflow point (lam >~ 745)."""
+
+    def _lifetime_for(self, inj, lam):
+        """The lifetime at which the injector's Poisson mean equals lam."""
+        return lam / inj.total_rate_per_hour
+
+    @pytest.mark.parametrize("lam", [10.0, 700.0, 800.0, 5000.0])
+    def test_matches_decimal_reference(self, geom, lam):
+        inj = make_injector(geom)
+        hours = self._lifetime_for(inj, lam)
+        for k in (1, 2, int(lam), 2 * int(lam)):
+            got = inj.prob_at_least(k, hours)
+            want = poisson_tail_reference(lam, k)
+            assert got == pytest.approx(want, rel=1e-9), (lam, k)
+
+    @pytest.mark.parametrize("lam", [10.0, 700.0, 800.0, 5000.0])
+    def test_analytic_layer_agrees(self, geom, lam):
+        """AnalyticModel shares the tail arithmetic with the injector at
+        every mean, not just small ones.  (The two layers accumulate the
+        Poisson mean in different orders, so agreement is to rounding,
+        not bitwise.)"""
+        inj = make_injector(geom)
+        hours = self._lifetime_for(inj, lam)
+        rates = FailureRates.paper_baseline()
+        model = AnalyticModel(geom, rates, lifetime_hours=hours)
+        for k in (1, 2, int(lam), 2 * int(lam)):
+            assert model.prob_at_least(k) == pytest.approx(
+                inj.prob_at_least(k, hours), rel=1e-6
+            ), (lam, k)
+
+    def test_underflow_regression_at_800(self, geom):
+        """The pre-log-space code returned 1.0 for *every* k once
+        exp(-lam) underflowed: the CDF summation never accumulated any
+        mass.  P(N >= 2*lam) is astronomically small, and P(N >= lam) is
+        about one half — both are distinguishable from 1.0."""
+        inj = make_injector(geom)
+        hours = self._lifetime_for(inj, 800.0)
+        assert math.exp(-800.0) == 0.0  # the underflow that broke it
+        near_median = inj.prob_at_least(800, hours)
+        assert 0.4 < near_median < 0.6
+        far_tail = inj.prob_at_least(1600, hours)
+        assert 0.0 < far_tail < 1e-50
+
+    def test_monotone_in_k_across_the_switch(self, geom):
+        """Tails decrease in k, including across the prefix/tail branch
+        switch at k == lam."""
+        inj = make_injector(geom)
+        hours = self._lifetime_for(inj, 800.0)
+        values = [inj.prob_at_least(k, hours)
+                  for k in (1, 400, 790, 800, 810, 1200, 1600)]
+        assert values == sorted(values, reverse=True)
+        assert all(0.0 < v <= 1.0 for v in values)
+
+
+class TestTruncatedSamplerGuards:
+    def test_conditioned_sampling_refuses_underflowed_mean(self, geom):
+        """Inverse-CDF conditioning is meaningless once exp(-lam)
+        underflows; the sampler must raise instead of silently returning
+        ``minimum`` for every draw (which biased the estimator)."""
+        inj = make_injector(geom, seed=13)
+        hours = 800.0 / inj.total_rate_per_hour
+        with pytest.raises(ConfigurationError):
+            inj.sample_count(hours, min_faults=2)
+
+    def test_conditioned_sampling_still_works_below_underflow(self, geom):
+        inj = make_injector(geom, seed=13)
+        hours = 700.0 / inj.total_rate_per_hour
+        count, weight = inj.sample_count(hours, min_faults=2)
+        assert count >= 2
+        assert weight == inj.prob_at_least(2, hours)
+
+
+class TestPlaceAtGuard:
+    def test_mismatched_lengths_rejected(self, geom):
+        inj = make_injector(geom, seed=17)
+        faults = inj.sample_kinds(3)
+        with pytest.raises(ContractViolation):
+            FaultInjector.place_at(faults, [1.0, 2.0])
+
+    def test_matched_lengths_accepted(self, geom):
+        inj = make_injector(geom, seed=17)
+        faults = inj.sample_kinds(2)
+        placed = FaultInjector.place_at(faults, [5.0, 1.0])
+        assert [f.time_hours for f in placed] == [1.0, 5.0]

@@ -33,6 +33,8 @@ from repro.reliability.sampling import (
     DEFAULT_MIXTURE_WEIGHT,
     ImportanceSampler,
     StratifiedSampler,
+    StratumDef,
+    TrialSampler,
     clustered_likelihood_ratio,
     count_stratum_mass,
     full_epochs,
@@ -347,3 +349,73 @@ class TestWorkerByteIdentity:
         runner_doc = via_runner.to_dict()
         assert runner_doc.pop("manifest", None) is not None
         assert direct.canonical().to_dict() == runner_doc
+
+
+# ---------------------------------------------------------------------- #
+# Allocation edge cases
+# ---------------------------------------------------------------------- #
+class DegenerateSampler(TrialSampler):
+    """A plan whose stratum masses all underflowed to zero — the
+    even-spread fallback branch of ``allocate``."""
+
+    def _build_strata(self):
+        return [
+            StratumDef(key=f"z={i}", weight=0.0, bound=1.0, min_count=1)
+            for i in range(5)
+        ]
+
+
+class TestAllocateEdgeCases:
+    def _sampler(self, geometry, count_strata=4):
+        return StratifiedSampler(
+            make_injector(geometry), LIFETIME_HOURS, min_faults=2,
+            count_strata=count_strata,
+        )
+
+    @given(count_strata=st.integers(min_value=2, max_value=9))
+    @settings(max_examples=20, deadline=None)
+    def test_boundary_shard_sizes_partition_exactly(self, count_strata):
+        """trials in {0, 1, S-1, S}: the partition invariant holds and the
+        >=1-per-stratum rebalance kicks in exactly at trials == S."""
+        from repro.stack.geometry import StackGeometry
+
+        sampler = self._sampler(StackGeometry(), count_strata)
+        strata = len(sampler.strata)
+        for trials in (0, 1, strata - 1, strata):
+            counts = sampler.allocate(trials)
+            assert sum(counts) == trials, trials
+            assert all(c >= 0 for c in counts)
+            assert counts == sampler.allocate(trials)
+        assert all(c == 1 for c in sampler.allocate(strata))
+
+    @given(trials=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_degenerate_weights_spread_evenly(self, trials):
+        """All-underflowed masses must not divide by zero, must still
+        partition, and the zero-rebalance loop must terminate."""
+        from repro.stack.geometry import StackGeometry
+
+        sampler = DegenerateSampler(
+            make_injector(StackGeometry()), LIFETIME_HOURS, min_faults=1
+        )
+        counts = sampler.allocate(trials)
+        assert sum(counts) == trials
+        assert all(c >= 0 for c in counts)
+        if trials >= len(counts):
+            assert all(c >= 1 for c in counts)
+        assert max(counts) - min(counts) <= 1  # even spread
+
+    def test_zero_trials_zero_everywhere(self, geometry):
+        sampler = self._sampler(geometry)
+        assert sampler.allocate(0) == [0] * len(sampler.strata)
+
+    def test_negative_trials_rejected(self, geometry):
+        from repro.errors import ContractViolation
+
+        sampler = self._sampler(geometry)
+        try:
+            sampler.allocate(-1)
+        except ContractViolation:
+            pass
+        else:
+            raise AssertionError("negative shard size accepted")

@@ -34,6 +34,10 @@ sampler fails the build even if the bench assertion itself is skipped.
 ``bench_replay_throughput`` drops ``bench_replay_throughput.json``:
 its replayed-requests/sec number is re-checked against the recorded
 floor (and its worker-identity flag re-asserted) the same way.
+The batch-kernel leg of ``bench_engine_hotpath`` drops
+``batch_speedup.json``: its batch-vs-scalar serial speedup is re-checked
+against the recorded floor, and its byte-identity flag re-asserted, so a
+batch-path perf or exactness regression fails the build.
 """
 
 from __future__ import annotations
@@ -183,6 +187,40 @@ def check_replay_sidecar(results_dir: Path) -> int:
     return 0
 
 
+def check_batch_sidecar(results_dir: Path) -> int:
+    """Enforce the batch-kernel speedup floor, if the batch bench ran.
+
+    Returns 0 when the sidecar is absent (the bench did not run) or the
+    measured batch-vs-scalar speedup meets its threshold with
+    byte-identical results; 1 on regression, an identity break, or a
+    mangled sidecar.
+    """
+    sidecar = results_dir / "batch_speedup.json"
+    if not sidecar.is_file():
+        return 0
+    try:
+        data = json.loads(sidecar.read_text())
+        speedup = float(data["speedup"])
+        threshold = float(data["threshold"])
+        identical = bool(data["results_identical"])
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"bench_report: unreadable batch sidecar {sidecar}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not identical:
+        print("bench_report: batch bench reported results diverging from "
+              "the scalar engine", file=sys.stderr)
+        return 1
+    if speedup < threshold:
+        print(f"bench_report: batch trial kernel regressed to "
+              f"{speedup:.2f}x over the scalar loop "
+              f"(threshold {threshold:.1f}x)", file=sys.stderr)
+        return 1
+    print(f"bench_report: batch kernel speedup {speedup:.2f}x "
+          f"(threshold {threshold:.1f}x)", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--results-dir", default=str(_REPO_ROOT / "results"),
@@ -213,6 +251,7 @@ def main(argv=None) -> int:
         check_hotpath_sidecar(Path(args.results_dir)),
         check_sampling_sidecar(Path(args.results_dir)),
         check_replay_sidecar(Path(args.results_dir)),
+        check_batch_sidecar(Path(args.results_dir)),
     )
 
 
